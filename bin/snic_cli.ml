@@ -1,0 +1,198 @@
+(* snic_cli: run individual S-NIC experiments from the command line.
+
+     snic_cli attacks                 — §3.3 attack matrix
+     snic_cli dos [--epoch N]         — IO-bus DoS under both arbiters
+     snic_cli tco [--area P --power P]— TCO sensitivity
+     snic_cli tlb --entries N         — TLB cost model query
+     snic_cli pack --mb X [--menu M]  — page packing for a region
+     snic_cli ipc [--l2 BYTES --nfs N]— one IPC-degradation run
+     snic_cli dpi --threads N --frame B — one Figure-8 point
+     snic_cli timeline                — Figure 7 series as CSV *)
+
+open Cmdliner
+
+let attacks_cmd =
+  let run () =
+    List.iter
+      (fun (name, corr, steal) ->
+        let s (o : Attacks.outcome) = if o.Attacks.succeeded then "SUCCEEDS" else "blocked" in
+        Printf.printf "%-26s corruption=%-9s theft=%-9s\n" name (s corr) (s steal))
+      (Attacks.matrix ())
+  in
+  Cmd.v (Cmd.info "attacks" ~doc:"Run the three §3.3 attacks across all NIC modes")
+    Term.(const run $ const ())
+
+let dos_cmd =
+  let epoch = Arg.(value & opt int 96 & info [ "epoch" ] ~doc:"Temporal partitioning epoch (cycles)") in
+  let dead = Arg.(value & opt int 16 & info [ "dead" ] ~doc:"Dead time at end of each epoch (cycles)") in
+  let run epoch dead =
+    let show name (r : Attacks.dos_result) =
+      Printf.printf "%-28s alone %10.0f pps, attacked %10.0f pps, retained %5.1f%%\n" name r.Attacks.alone_pps
+        r.Attacks.under_attack_pps (100. *. r.Attacks.retained)
+    in
+    show "free-for-all" (Attacks.bus_dos Nicsim.Bus.Free_for_all);
+    show
+      (Printf.sprintf "temporal(%d,%d)" epoch dead)
+      (Attacks.bus_dos (Nicsim.Bus.Temporal { epoch; dead }))
+  in
+  Cmd.v (Cmd.info "dos" ~doc:"IO-bus denial-of-service experiment") Term.(const run $ epoch $ dead)
+
+let tco_cmd =
+  let area = Arg.(value & opt float 8.89 & info [ "area" ] ~doc:"Area overhead percent") in
+  let power = Arg.(value & opt float 11.45 & info [ "power" ] ~doc:"Power overhead percent") in
+  let run area power =
+    let s = Costmodel.Tco.summary ~area_overhead_pct:area ~power_overhead_pct:power () in
+    Printf.printf "NIC $%.2f/core, S-NIC $%.2f/core, host $%.2f/core\n" s.Costmodel.Tco.nic_tco
+      s.Costmodel.Tco.snic_tco s.Costmodel.Tco.host_tco;
+    Printf.printf "advantage reduction %.2f%%, preserved %.1f%%\n" s.Costmodel.Tco.advantage_reduction_pct
+      s.Costmodel.Tco.preserved_pct
+  in
+  Cmd.v (Cmd.info "tco" ~doc:"Total-cost-of-ownership model") Term.(const run $ area $ power)
+
+let tlb_cmd =
+  let entries = Arg.(required & opt (some int) None & info [ "entries" ] ~doc:"TLB entry count") in
+  let run entries =
+    Printf.printf "%d-entry TLB: %.4f mm^2, %.4f W (per structure, 28nm McPAT-anchored)\n" entries
+      (Costmodel.Tlb_cost.area_mm2 entries) (Costmodel.Tlb_cost.power_w entries)
+  in
+  Cmd.v (Cmd.info "tlb" ~doc:"TLB silicon cost query") Term.(const run $ entries)
+
+let pack_cmd =
+  let mb = Arg.(required & opt (some float) None & info [ "mb" ] ~doc:"Region size in MiB") in
+  let menu =
+    Arg.(value & opt (enum [ ("equal", `Equal); ("flex-low", `Low); ("flex-high", `High) ]) `Equal
+         & info [ "menu" ] ~doc:"Page-size menu")
+  in
+  let run mb menu =
+    let sizes =
+      match menu with
+      | `Equal -> Costmodel.Page_packing.equal_2mb
+      | `Low -> Costmodel.Page_packing.flex_low
+      | `High -> Costmodel.Page_packing.flex_high
+    in
+    let bytes = Costmodel.Page_packing.mb mb in
+    Printf.printf "%.2f MiB -> %d TLB entries, %.2f MiB wasted\n" mb
+      (Costmodel.Page_packing.entries_for_region ~page_sizes:sizes bytes)
+      (float_of_int (Costmodel.Page_packing.waste ~page_sizes:sizes [ bytes ]) /. 1048576.)
+  in
+  Cmd.v (Cmd.info "pack" ~doc:"Variable-page-size packing query") Term.(const run $ mb $ menu)
+
+let ipc_cmd =
+  let l2 = Arg.(value & opt int (4 lsl 20) & info [ "l2" ] ~doc:"L2 size in bytes") in
+  let nfs = Arg.(value & opt int 4 & info [ "nfs" ] ~doc:"Co-tenancy degree (2-16)") in
+  let run l2 nfs =
+    let names = List.init nfs (fun i -> List.nth Uarch.Workload.names (i mod 6)) in
+    let streams =
+      Array.of_list (List.mapi (fun d n -> Uarch.Workload.rebase (Uarch.Workload.stream ~packets:800 n) ~domain:d) names)
+    in
+    Array.iter
+      (fun (nf, d) -> Printf.printf "%-5s IPC degradation %.2f%%\n" nf d)
+      (Uarch.Cpu_model.degradation ~l2_bytes:l2 streams)
+  in
+  Cmd.v (Cmd.info "ipc" ~doc:"One IPC-degradation colocation run (Figure 5 point)") Term.(const run $ l2 $ nfs)
+
+let dpi_cmd =
+  let threads = Arg.(value & opt int 16 & info [ "threads" ] ~doc:"vDPI hardware threads") in
+  let frame = Arg.(value & opt int 1500 & info [ "frame" ] ~doc:"Frame size in bytes") in
+  let run threads frame =
+    Printf.printf "%d threads, %dB frames: %.3f Mpps\n" threads frame
+      (Uarch.Figure8.simulate ~threads ~frame_bytes:frame ())
+  in
+  Cmd.v (Cmd.info "dpi" ~doc:"One Figure-8 accelerator-throughput point") Term.(const run $ threads $ frame)
+
+let covert_cmd =
+  let run () =
+    let show name (r : Attacks.covert_result) =
+      Printf.printf "%-28s %d/%d bits decoded (%.0f%%)\n" name r.Attacks.decoded r.Attacks.bits
+        (100. *. r.Attacks.accuracy)
+    in
+    show "free-for-all" (Attacks.bus_covert_channel Nicsim.Bus.Free_for_all);
+    show "temporal(96,16)" (Attacks.bus_covert_channel (Nicsim.Bus.Temporal { epoch = 96; dead = 16 }))
+  in
+  Cmd.v (Cmd.info "covert" ~doc:"Bus covert-channel experiment") Term.(const run $ const ())
+
+let probe_cmd =
+  let run () =
+    let show (r : Attacks.accel_probe_result) =
+      Printf.printf "%-22s idle %6d cycles, victim-active %6d cycles -> %s\n"
+        (if r.Attacks.shared then "shared accelerator" else "dedicated cluster")
+        r.Attacks.idle_latency r.Attacks.busy_latency
+        (if r.Attacks.distinguishable then "LEAKS" else "flat")
+    in
+    show (Attacks.accel_contention ~shared:true);
+    show (Attacks.accel_contention ~shared:false)
+  in
+  Cmd.v (Cmd.info "probe" ~doc:"Accelerator-contention side channel") Term.(const run $ const ())
+
+let overhead_cmd =
+  let run () =
+    let b = Costmodel.Overhead.compute Costmodel.Overhead.headline in
+    Printf.printf "area: +%.2f%% (cores %.3f, accels %.3f, io %.3f mm^2)\n" b.Costmodel.Overhead.area_overhead_pct
+      b.Costmodel.Overhead.core_area b.Costmodel.Overhead.accel_area b.Costmodel.Overhead.io_area;
+    Printf.printf "power: +%.2f%% (cores %.3f, accels %.3f, io %.3f W)\n" b.Costmodel.Overhead.power_overhead_pct
+      b.Costmodel.Overhead.core_power b.Costmodel.Overhead.accel_power b.Costmodel.Overhead.io_power
+  in
+  Cmd.v (Cmd.info "overhead" ~doc:"Headline silicon overhead (8.89%/11.45%)") Term.(const run $ const ())
+
+let table6_cmd =
+  let run () =
+    print_endline "nf,text_mb,data_mb,code_mb,heap_mb,total_mb,equal,flex_low,flex_high,mur_pct";
+    List.iter
+      (fun (p : Memprof.Profiles.t) ->
+        let e menu = Memprof.Profiles.tlb_entries p ~page_sizes:menu in
+        let mur = Memprof.Mur.find p.Memprof.Profiles.name in
+        Printf.printf "%s,%.2f,%.2f,%.2f,%.2f,%.2f,%d,%d,%d,%.1f\n" p.Memprof.Profiles.name
+          p.Memprof.Profiles.text_mb p.Memprof.Profiles.data_mb p.Memprof.Profiles.code_mb
+          p.Memprof.Profiles.heap_stack_mb (Memprof.Profiles.total_mb p)
+          (e Costmodel.Page_packing.equal_2mb) (e Costmodel.Page_packing.flex_low)
+          (e Costmodel.Page_packing.flex_high) mur.Memprof.Mur.mur_pct)
+      Memprof.Profiles.nfs
+  in
+  Cmd.v (Cmd.info "table6" ~doc:"Table 6 NF memory profiles as CSV") Term.(const run $ const ())
+
+let fig5_cmd =
+  let cotenancy = Arg.(value & opt int 4 & info [ "nfs" ] ~doc:"Co-tenancy degree") in
+  let packets = Arg.(value & opt int 800 & info [ "packets" ] ~doc:"Packets per stream") in
+  let run cotenancy packets =
+    print_endline "nf,cotenancy,median_pct,p1_pct,p99_pct";
+    List.iter
+      (fun (nf, series) ->
+        List.iter
+          (fun (n, (s : Uarch.Colocation.stats)) ->
+            Printf.printf "%s,%d,%.3f,%.3f,%.3f\n" nf n s.Uarch.Colocation.median s.Uarch.Colocation.p1
+              s.Uarch.Colocation.p99)
+          series)
+      (Uarch.Colocation.figure5b ~cotenancy:[ cotenancy ] ~samples:4 ~packets ())
+  in
+  Cmd.v (Cmd.info "fig5" ~doc:"Figure 5b IPC-degradation stats as CSV") Term.(const run $ cotenancy $ packets)
+
+let fig8_cmd =
+  let run () =
+    print_endline "threads,frame_bytes,mpps";
+    List.iter
+      (fun (p : Uarch.Figure8.point) ->
+        Printf.printf "%d,%d,%.4f\n" p.Uarch.Figure8.threads p.Uarch.Figure8.frame_bytes p.Uarch.Figure8.mpps)
+      (Uarch.Figure8.figure8 ())
+  in
+  Cmd.v (Cmd.info "fig8" ~doc:"Figure 8 vDPI throughput as CSV") Term.(const run $ const ())
+
+let timeline_cmd =
+  let run () =
+    print_endline "t_s,used_mb,prealloc_mb";
+    List.iter
+      (fun (p : Memprof.Timeline.point) ->
+        Printf.printf "%.2f,%.2f,%.2f\n" p.Memprof.Timeline.t_s p.Memprof.Timeline.used_mb
+          p.Memprof.Timeline.prealloc_mb)
+      (Memprof.Timeline.monitor ())
+  in
+  Cmd.v (Cmd.info "timeline" ~doc:"Figure 7 Monitor memory series as CSV") Term.(const run $ const ())
+
+let () =
+  let info = Cmd.info "snic_cli" ~doc:"S-NIC (EuroSys'24) reproduction experiments" in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            attacks_cmd; dos_cmd; covert_cmd; probe_cmd; tco_cmd; overhead_cmd; tlb_cmd; pack_cmd; table6_cmd;
+            ipc_cmd; dpi_cmd; fig5_cmd; fig8_cmd; timeline_cmd;
+          ]))

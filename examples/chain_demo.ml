@@ -1,0 +1,86 @@
+(* Function chaining (§4.8): the same firewall -> monitor -> NAT pipeline
+   built both ways the paper discusses.
+
+   1. compiler-enforced isolation: all three functions composed inside ONE
+      virtual NIC (cheap, but they share core-local microarchitectural
+      state);
+   2. cross-VPP chaining: each function in its OWN virtual NIC, packets
+      moved between the isolated VPPs by trusted hardware (the extension
+      the paper sketches as future work).
+
+   Run with: dune exec examples/chain_demo.exe *)
+
+let ip = Net.Ipv4_addr.of_string
+
+let mk_packet i =
+  Net.Packet.make ~src_ip:(ip "10.0.0.9") ~dst_ip:(ip "198.51.100.1") ~proto:Net.Packet.Tcp
+    ~src_port:(20_000 + i)
+    ~dst_port:(if i mod 5 = 0 then 22 else 443)
+    "chain me"
+
+let deny_ssh = { (Nf.Firewall.rule_any Nf.Firewall.Deny) with Nf.Firewall.dst_ports = Some (22, 22) }
+
+let () =
+  print_endline "== Variant 1: compiler-enforced chain in one virtual NIC ==";
+  let api = Snic.Api.boot () in
+  let mon = Nf.Monitor.create () in
+  let composed =
+    Snic.Chain.compose ~name:"fw|mon|nat"
+      [
+        Nf.Firewall.nf (Nf.Firewall.create ~default:Nf.Firewall.Allow [ deny_ssh ]);
+        Nf.Monitor.nf mon;
+        Nf.Nat.nf (Nf.Nat.create ~internal_prefix:(ip "10.0.0.0", 8) ~external_ip:(ip "203.0.113.1") ());
+      ]
+  in
+  let vnic =
+    match
+      Snic.Api.nf_create api
+        { Snic.Instructions.default_config with image = "chain-v1"; rules = [ Nicsim.Pktio.match_any ] }
+    with
+    | Ok v -> v
+    | Error e -> failwith e
+  in
+  for i = 1 to 20 do
+    ignore (Snic.Api.inject_packet api (mk_packet i))
+  done;
+  let stats = Snic.Vnic.process vnic composed ~max:100 in
+  Printf.printf "one vNIC: %d in, %d out, %d dropped by the embedded firewall; monitor saw %d\n"
+    stats.Snic.Vnic.received stats.Snic.Vnic.forwarded stats.Snic.Vnic.dropped (Nf.Monitor.packets_seen mon);
+
+  print_endline "";
+  print_endline "== Variant 2: cross-VPP chain, one virtual NIC per stage ==";
+  let api = Snic.Api.boot () in
+  let stage image core rules =
+    match Snic.Api.nf_create api { Snic.Instructions.default_config with image; cores = [ core ]; rules } with
+    | Ok v -> v
+    | Error e -> failwith e
+  in
+  let v_fw = stage "fw-v1" 0 [ Nicsim.Pktio.match_any ] in
+  let v_mon = stage "mon-v1" 1 [] in
+  let v_nat = stage "nat-v1" 2 [] in
+  let mon2 = Nf.Monitor.create () in
+  let chain =
+    Snic.Chain.create api
+      [
+        (v_fw, Nf.Firewall.nf (Nf.Firewall.create ~default:Nf.Firewall.Allow [ deny_ssh ]));
+        (v_mon, Nf.Monitor.nf mon2);
+        (v_nat, Nf.Nat.nf (Nf.Nat.create ~internal_prefix:(ip "10.0.0.0", 8) ~external_ip:(ip "203.0.113.1") ()));
+      ]
+  in
+  for i = 1 to 20 do
+    ignore (Snic.Api.inject_packet api (mk_packet i))
+  done;
+  List.iter
+    (fun (s : Snic.Chain.stage_stats) ->
+      Printf.printf "stage %-4s: received %2d, forwarded %2d, dropped %2d\n" s.Snic.Chain.nf s.Snic.Chain.received
+        s.Snic.Chain.forwarded s.Snic.Chain.dropped)
+    (Snic.Chain.pump chain ~max:100);
+  let out = Snic.Api.transmitted api in
+  Printf.printf "%d frames on the wire, all NAT-rewritten: %b\n" (List.length out)
+    (List.for_all (fun (p : Net.Packet.t) -> Net.Ipv4_addr.to_string p.src_ip = "203.0.113.1") out);
+  (* Each stage keeps hardware-enforced isolation from the others. *)
+  let h = Snic.Vnic.handle v_nat in
+  (match Snic.Vnic.read_phys v_fw ~paddr:h.Snic.Instructions.mem_base ~len:1 with
+  | Error f -> Printf.printf "stage isolation intact: %s\n" (Nicsim.Machine.fault_to_string f)
+  | Ok _ -> print_endline "stage isolation BROKEN");
+  print_endline "done."

@@ -1,0 +1,96 @@
+(* Quickstart: boot a simulated S-NIC, launch a firewall network function
+   on its own virtual smart NIC, push packets through it, remotely attest
+   it, and tear it down.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let ip = Net.Ipv4_addr.of_string
+
+let () =
+  print_endline "== S-NIC quickstart ==";
+
+  (* 1. Boot an S-NIC: machine in Snic mode + manufactured identity. *)
+  let api = Snic.Api.boot () in
+  Printf.printf "booted: %s, %d programmable cores\n"
+    (Nicsim.Machine.mode_name (Nicsim.Machine.mode (Snic.Api.machine api)))
+    (Nicsim.Machine.cores (Snic.Api.machine api));
+
+  (* 2. Define a firewall NF: deny TCP/22, allow the rest. *)
+  let deny_ssh =
+    {
+      Nf.Firewall.src_prefix = None;
+      dst_prefix = None;
+      proto = Some 6;
+      src_ports = None;
+      dst_ports = Some (22, 22);
+      action = Nf.Firewall.Deny;
+    }
+  in
+  let firewall = Nf.Firewall.nf (Nf.Firewall.create ~default:Nf.Firewall.Allow [ deny_ssh ]) in
+
+  (* 3. Launch it: one core, 1 MB of RAM, a catch-all switch rule, one
+     DPI accelerator cluster. nf_launch validates, flips page ownership
+     (arming the OS denylist), locks the TLBs and measures the image. *)
+  let config =
+    {
+      Snic.Instructions.default_config with
+      image = "firewall-image-v1.0";
+      rules = [ Nicsim.Pktio.match_any ];
+      accels = [ (Nicsim.Accel.Dpi, 1) ];
+    }
+  in
+  let vnic =
+    match Snic.Api.nf_create api config with Ok v -> v | Error e -> failwith ("nf_create: " ^ e)
+  in
+  let handle = Snic.Vnic.handle vnic in
+  Printf.printf "launched NF %d on core(s) %s; measurement %s...\n" (Snic.Vnic.id vnic)
+    (String.concat "," (List.map string_of_int handle.Snic.Instructions.cores))
+    (String.sub (Crypto.Sha256.to_hex handle.Snic.Instructions.measurement) 0 16);
+
+  (* 4. Push traffic through the virtual packet pipeline. *)
+  let mk dport =
+    Net.Packet.make ~src_ip:(ip "10.0.0.1") ~dst_ip:(ip "93.184.216.34") ~proto:Net.Packet.Tcp ~src_port:40000
+      ~dst_port:dport "hello"
+  in
+  List.iter (fun dport -> ignore (Snic.Api.inject_packet api (mk dport))) [ 80; 22; 443; 22; 8080 ];
+  let stats = Snic.Vnic.process vnic firewall ~max:100 in
+  Printf.printf "processed %d packets: %d forwarded, %d dropped by policy\n" stats.Snic.Vnic.received
+    stats.Snic.Vnic.forwarded stats.Snic.Vnic.dropped;
+
+  (* 5. Remote attestation: a tenant verifies the function is the one it
+     uploaded, running on genuine S-NIC hardware, and derives a key. *)
+  let rng = Random.State.make [| 2024 |] in
+  let attester =
+    match Snic.Attestation.attester_of_nf (Snic.Api.instructions api) ~id:(Snic.Vnic.id vnic) with
+    | Ok a -> a
+    | Error e -> failwith (Snic.Instructions.error_to_string e)
+  in
+  let nonce = "tenant-challenge-42" in
+  let responder, quote = Snic.Attestation.respond rng attester ~nonce in
+  (match
+     Snic.Attestation.verify rng
+       ~vendor_public:(Snic.Identity.vendor_public (Snic.Api.vendor api))
+       ~expected_measurement:handle.Snic.Instructions.measurement ~nonce quote
+   with
+  | Ok verified ->
+    let nf_key = Snic.Attestation.responder_key responder ~verifier_share:verified.Snic.Attestation.verifier_share in
+    Printf.printf "attestation OK; shared key established (%s)\n"
+      (if String.equal nf_key verified.Snic.Attestation.key then "keys agree" else "KEY MISMATCH")
+  | Error e -> failwith (Snic.Attestation.verify_error_to_string e));
+
+  (* 6. The NIC OS cannot snoop the function while it runs... *)
+  let m = Snic.Api.machine api in
+  (match Nicsim.Machine.load_u8 m Nicsim.Machine.Os (Nicsim.Machine.Phys handle.Snic.Instructions.mem_base) with
+  | Error f -> Printf.printf "NIC OS snoop attempt: %s\n" (Nicsim.Machine.fault_to_string f)
+  | Ok _ -> print_endline "NIC OS snoop attempt: SUCCEEDED (bug!)");
+
+  (* 7. ...and teardown scrubs every byte before releasing the pages. *)
+  (match Snic.Api.nf_destroy api ~id:(Snic.Vnic.id vnic) with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  let scrubbed =
+    Nicsim.Physmem.is_zero (Nicsim.Machine.mem m) ~pos:handle.Snic.Instructions.mem_base
+      ~len:handle.Snic.Instructions.mem_len
+  in
+  Printf.printf "teardown: memory scrubbed = %b, resources released\n" scrubbed;
+  print_endline "done."

@@ -1,0 +1,45 @@
+let generator = 2
+let poly = 0x11D
+
+(* exp table over two periods so mul can index without a mod. *)
+let exp_table, log_table =
+  let e = Array.make 512 0 and l = Array.make 256 0 in
+  let x = ref 1 in
+  for i = 0 to 254 do
+    e.(i) <- !x;
+    l.(!x) <- i;
+    x := !x lsl 1;
+    if !x land 0x100 <> 0 then x := !x lxor poly
+  done;
+  for i = 255 to 511 do
+    e.(i) <- e.(i - 255)
+  done;
+  (e, l)
+
+let check a = if a < 0 || a > 255 then invalid_arg "Gf256: value out of range"
+
+let add a b =
+  check a;
+  check b;
+  a lxor b
+
+let mul a b =
+  check a;
+  check b;
+  if a = 0 || b = 0 then 0 else exp_table.(log_table.(a) + log_table.(b))
+
+let inv a =
+  check a;
+  if a = 0 then raise Division_by_zero else exp_table.(255 - log_table.(a))
+
+let div a b = mul a (inv b)
+
+let pow a k =
+  check a;
+  if a = 0 then (if k = 0 then 1 else 0)
+  else begin
+    let k = ((k mod 255) + 255) mod 255 in
+    exp_table.(log_table.(a) * k mod 255)
+  end
+
+let exp k = pow generator k

@@ -1,0 +1,120 @@
+let window_size = 65_535
+let max_match = 131
+let min_match = 4
+
+(* Hash of the 4 bytes at [i]; chains of previous positions with the
+   same hash bound the match search. *)
+let hash_bits = 15
+let hash_size = 1 lsl hash_bits
+
+let hash4 s i =
+  let b k = Char.code (String.unsafe_get s (i + k)) in
+  (((b 0 lsl 12) lxor (b 1 lsl 8) lxor (b 2 lsl 4) lxor b 3) * 0x9E37) lsr 4 land (hash_size - 1)
+
+let compress s =
+  let n = String.length s in
+  let out = Buffer.create (n / 2) in
+  let head = Array.make hash_size (-1) in
+  let prev = Array.make (max n 1) (-1) in
+  let lit_start = ref 0 in
+  let flush_literals upto =
+    (* Emit pending literals in runs of <= 128. *)
+    let i = ref !lit_start in
+    while !i < upto do
+      let run = min 128 (upto - !i) in
+      Buffer.add_char out (Char.chr (run - 1));
+      Buffer.add_substring out s !i run;
+      i := !i + run
+    done;
+    lit_start := upto
+  in
+  let insert i =
+    if i + min_match <= n then begin
+      let h = hash4 s i in
+      prev.(i) <- head.(h);
+      head.(h) <- i
+    end
+  in
+  let match_len a b limit =
+    let k = ref 0 in
+    while !k < limit && String.unsafe_get s (a + !k) = String.unsafe_get s (b + !k) do
+      incr k
+    done;
+    !k
+  in
+  let i = ref 0 in
+  while !i < n do
+    let best_len = ref 0 and best_dist = ref 0 in
+    if !i + min_match <= n then begin
+      let limit = min max_match (n - !i) in
+      let cand = ref head.(hash4 s !i) in
+      let tries = ref 32 in
+      while !cand >= 0 && !tries > 0 do
+        if !i - !cand <= window_size then begin
+          let len = match_len !cand !i limit in
+          if len > !best_len then begin
+            best_len := len;
+            best_dist := !i - !cand
+          end;
+          decr tries;
+          cand := prev.(!cand)
+        end
+        else begin
+          (* Beyond the window: older entries are older still. *)
+          cand := -1
+        end
+      done
+    end;
+    if !best_len >= min_match then begin
+      flush_literals !i;
+      Buffer.add_char out (Char.chr (0x80 lor (!best_len - min_match)));
+      Buffer.add_char out (Char.chr (!best_dist land 0xff));
+      Buffer.add_char out (Char.chr ((!best_dist lsr 8) land 0xff));
+      (* Index every covered position so later matches can start inside
+         this one. *)
+      for k = 0 to !best_len - 1 do
+        insert (!i + k)
+      done;
+      i := !i + !best_len;
+      lit_start := !i
+    end
+    else begin
+      insert !i;
+      incr i
+    end
+  done;
+  flush_literals n;
+  Buffer.contents out
+
+let decompress s =
+  let n = String.length s in
+  let out = Buffer.create (2 * n) in
+  let i = ref 0 in
+  let need k = if !i + k > n then invalid_arg "Lz77.decompress: truncated token" in
+  while !i < n do
+    let tok = Char.code s.[!i] in
+    incr i;
+    if tok < 0x80 then begin
+      let run = tok + 1 in
+      need run;
+      Buffer.add_substring out s !i run;
+      i := !i + run
+    end
+    else begin
+      need 2;
+      let len = (tok land 0x7f) + min_match in
+      let dist = Char.code s.[!i] lor (Char.code s.[!i + 1] lsl 8) in
+      i := !i + 2;
+      if dist = 0 || dist > Buffer.length out then invalid_arg "Lz77.decompress: bad distance";
+      (* Overlapping copies are the point of LZ77: copy byte by byte. *)
+      let start = Buffer.length out - dist in
+      for k = 0 to len - 1 do
+        Buffer.add_char out (Buffer.nth out (start + k))
+      done
+    end
+  done;
+  Buffer.contents out
+
+let ratio s =
+  if String.length s = 0 then 1.0
+  else float_of_int (String.length (compress s)) /. float_of_int (String.length s)

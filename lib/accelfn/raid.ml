@@ -1,0 +1,101 @@
+type stripe = { data : string array; p : string; q : string }
+
+let xor_into dst src = Bytes.iteri (fun i c -> Bytes.set dst i (Char.chr (Char.code c lxor Char.code (Bytes.get dst i)))) (Bytes.of_string src)
+
+let encode blocks =
+  let k = Array.length blocks in
+  if k = 0 then invalid_arg "Raid.encode: empty stripe";
+  let len = String.length blocks.(0) in
+  Array.iter (fun b -> if String.length b <> len then invalid_arg "Raid.encode: unequal block lengths") blocks;
+  let p = Bytes.make len '\000' in
+  let q = Bytes.make len '\000' in
+  Array.iteri
+    (fun i b ->
+      xor_into p b;
+      let g = Gf256.exp i in
+      for j = 0 to len - 1 do
+        Bytes.set q j (Char.chr (Char.code (Bytes.get q j) lxor Gf256.mul g (Char.code b.[j])))
+      done)
+    blocks;
+  { data = Array.copy blocks; p = Bytes.to_string p; q = Bytes.to_string q }
+
+let verify s =
+  let fresh = encode s.data in
+  String.equal fresh.p s.p && String.equal fresh.q s.q
+
+let recover ~data ~p ~q =
+  let k = Array.length data in
+  if k = 0 then Error "empty stripe"
+  else begin
+    let missing = ref [] in
+    Array.iteri (fun i b -> if b = None then missing := i :: !missing) data;
+    let len =
+      match (Array.to_list data, p, q) with
+      | _, Some s, _ | _, _, Some s -> String.length s
+      | blocks, None, None -> begin
+        match List.find_opt Option.is_some blocks with
+        | Some (Some s) -> String.length s
+        | _ -> 0
+      end
+    in
+    let byte b j = Char.code b.[j] in
+    match (!missing, p, q) with
+    | [], _, _ -> Ok (Array.map Option.get data)
+    | [ x ], Some p, _ ->
+      (* P-recovery: D_x = P xor (xor of the others). *)
+      let out = Bytes.of_string p in
+      Array.iteri (fun i b -> if i <> x then xor_into out (Option.get b)) data;
+      let d = Array.map (function Some b -> b | None -> Bytes.to_string out) data in
+      Ok d
+    | [ x ], None, Some q ->
+      (* Q-recovery: D_x = (Q xor sum_{i<>x} g^i D_i) / g^x. *)
+      let acc = Bytes.of_string q in
+      Array.iteri
+        (fun i b ->
+          if i <> x then begin
+            let g = Gf256.exp i in
+            let s = Option.get b in
+            for j = 0 to len - 1 do
+              Bytes.set acc j (Char.chr (Char.code (Bytes.get acc j) lxor Gf256.mul g (byte s j)))
+            done
+          end)
+        data;
+      let gx = Gf256.exp x in
+      let out = Bytes.init len (fun j -> Char.chr (Gf256.div (Char.code (Bytes.get acc j)) gx)) in
+      Ok (Array.map (function Some b -> b | None -> Bytes.to_string out) data)
+    | [ y; x ], Some p, Some q ->
+      (* Two erasures (x < y after the reverse accumulation):
+         A = P xor (others), B = Q xor (weighted others);
+         D_x = (B xor g^y*A) / (g^x xor g^y); D_y = A xor D_x. *)
+      let a = Bytes.of_string p in
+      let b = Bytes.of_string q in
+      Array.iteri
+        (fun i blk ->
+          match blk with
+          | Some s when i <> x && i <> y ->
+            xor_into a s;
+            let g = Gf256.exp i in
+            for j = 0 to len - 1 do
+              Bytes.set b j (Char.chr (Char.code (Bytes.get b j) lxor Gf256.mul g (byte s j)))
+            done
+          | _ -> ())
+        data;
+      let gx = Gf256.exp x and gy = Gf256.exp y in
+      let denom = gx lxor gy in
+      let dx =
+        Bytes.init len (fun j ->
+            let aj = Char.code (Bytes.get a j) and bj = Char.code (Bytes.get b j) in
+            Char.chr (Gf256.div (bj lxor Gf256.mul gy aj) denom))
+      in
+      let dy = Bytes.init len (fun j -> Char.chr (Char.code (Bytes.get a j) lxor Char.code (Bytes.get dx j))) in
+      Ok
+        (Array.mapi
+           (fun i blk ->
+             match blk with
+             | Some s -> s
+             | None -> if i = x then Bytes.to_string dx else Bytes.to_string dy)
+           data)
+    | [ _ ], None, None -> Error "one block lost but both parities unavailable"
+    | [ _; _ ], _, _ -> Error "two blocks lost: need both P and Q"
+    | _ -> Error "more than two blocks lost: beyond P+Q capability"
+  end

@@ -1,0 +1,25 @@
+(** The RAID accelerator's functional model: RAID-6-style P+Q parity
+    over GF(2^8).
+
+    A stripe of k equal-length data blocks carries two parity blocks:
+    P = xor of the blocks, Q = sum of g^i * D_i. Any single lost block is
+    recoverable from P (or Q); any two lost data blocks are recoverable
+    from P and Q together. *)
+
+type stripe = {
+  data : string array; (* k blocks, equal lengths *)
+  p : string;
+  q : string;
+}
+
+(** [encode blocks] computes both parities. All blocks must share one
+    length; at least one block. *)
+val encode : string array -> stripe
+
+(** [verify s] recomputes the parities. *)
+val verify : stripe -> bool
+
+(** [recover ~data ~p ~q] rebuilds the full data array, where [None]
+    marks lost blocks ([p]/[q] may be lost too). Fails with a message
+    when the erasures exceed the code's capability. *)
+val recover : data:string option array -> p:string option -> q:string option -> (string array, string) result

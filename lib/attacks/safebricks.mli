@@ -1,0 +1,25 @@
+(** The paper's motivating comparison (§1, §6): running a network
+    function inside a host SGX enclave (SafeBricks-style) versus on an
+    S-NIC.
+
+    The enclave protects the function's state from the host OS, but
+    enclave memory cannot be the target of DMA — every packet must stage
+    through ordinary host RAM, where a malicious kernel can read it
+    (confidentiality) and modify it (integrity) before the enclave pulls
+    it in. On an S-NIC the packet never traverses attacker-accessible
+    memory in the clear. *)
+
+type outcome = {
+  deployment : string;
+  kernel_saw_plaintext : bool; (* could the host kernel read the packet? *)
+  kernel_tampered_input : bool; (* did kernel tampering reach the NF's input? *)
+  dma_into_protected_memory : bool; (* can the NIC DMA straight into the TEE? *)
+}
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+(** A firewall processing one sensitive packet inside a host enclave. *)
+val safebricks_deployment : unit -> outcome
+
+(** The same function launched on an S-NIC. *)
+val snic_deployment : unit -> outcome

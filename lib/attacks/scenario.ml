@@ -1,0 +1,66 @@
+open Nicsim
+
+type t = {
+  machine : Machine.t;
+  victim_mem : int;
+  victim_mem_len : int;
+  attacker_mem : int;
+  attacker_mem_len : int;
+  victim_cluster : int;
+  attacker_cluster : int;
+}
+
+let victim_id = 0
+let attacker_id = 1
+let as_victim _ = Machine.Nf_code victim_id
+let as_attacker _ = Machine.Nf_code attacker_id
+
+let region_len = 64 * 1024
+let vbase = 0x10000000
+
+let install machine ~nf ~core =
+  let base = Option.get (Alloc.alloc (Machine.alloc machine) ~owner:(Physmem.Nf nf) region_len) in
+  Machine.bind_core machine ~core ~nf;
+  ignore (Tlb.map_region (Machine.core_tlb machine ~core) ~vbase ~pbase:base ~len:region_len ~writable:true);
+  if Machine.mode machine = Machine.Bluefield then
+    (* On BlueField the NF's trusted state lives in secure-world memory. *)
+    Machine.set_secure machine ~pos:base ~len:region_len true;
+  base
+
+let claim_cluster machine ~nf =
+  let dpi = Machine.accel machine Accel.Dpi in
+  let c = Option.get (Accel.claim_cluster dpi ~nf) in
+  let mmio = Machine.accel_mmio_base machine ~kind:Accel.Dpi ~cluster:c in
+  (match Machine.mode machine with
+  | Machine.Snic ->
+    (* What nf_launch does: the cluster's registers become the NF's. *)
+    Physmem.set_owner (Machine.mem machine) ~pos:mmio ~len:Physmem.page_size (Physmem.Nf nf)
+  | Machine.Bluefield ->
+    (* TrustZone can mark an accelerator secure-only. *)
+    Machine.set_secure machine ~pos:mmio ~len:Physmem.page_size true
+  | _ -> ());
+  c
+
+let setup mode =
+  let machine = Machine.create (Machine.default_config ~mode) in
+  let victim_mem = install machine ~nf:victim_id ~core:0 in
+  let attacker_mem = install machine ~nf:attacker_id ~core:1 in
+  let victim_cluster = claim_cluster machine ~nf:victim_id in
+  let attacker_cluster = claim_cluster machine ~nf:attacker_id in
+  ignore (Pktio.reserve (Machine.pktio machine) ~nf:victim_id ~rx_bytes:65536 ~tx_bytes:65536);
+  Pktio.add_rule (Machine.pktio machine) ~m:Pktio.match_any ~nf:victim_id;
+  {
+    machine;
+    victim_mem;
+    victim_mem_len = region_len;
+    attacker_mem;
+    attacker_mem_len = region_len;
+    victim_cluster;
+    attacker_cluster;
+  }
+
+let deliver_to_victim t pkt =
+  match Pktio.deliver (Machine.pktio t.machine) (Net.Packet.serialize pkt) with
+  | Ok nf when nf = victim_id -> Ok ()
+  | Ok nf -> Error (Printf.sprintf "delivered to wrong NF %d" nf)
+  | Error e -> Error e

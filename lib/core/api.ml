@@ -1,0 +1,71 @@
+open Nicsim
+
+type t = { instr : Instructions.t; vendor : Identity.vendor }
+
+let boot_with ?vendor ?(serial = "0001") config =
+  let vendor = match vendor with Some v -> v | None -> Identity.make_vendor ~name:"Simulated NIC Vendor" () in
+  let machine = Machine.create config in
+  let identity = Identity.manufacture vendor ~serial in
+  { instr = Instructions.create machine identity; vendor }
+
+let boot ?vendor ?serial () = boot_with ?vendor ?serial (Machine.default_config ~mode:Machine.Snic)
+
+let instructions t = t.instr
+let machine t = Instructions.machine t.instr
+let vendor t = t.vendor
+
+let nf_create t (config : Instructions.launch_config) =
+  let m = machine t in
+  (* Stage the image through host memory and DMA, as the real management
+     flow does (§4.1). The staging buffer is OS memory; nf_launch copies
+     from it into the function's reservation. *)
+  let staged =
+    if String.length config.image = 0 then Ok config.image
+    else begin
+      let host = Dma.host_mem (Machine.dma m) in
+      Physmem.write_bytes host ~pos:0 config.image;
+      match Alloc.alloc (Machine.alloc m) ~owner:Physmem.Nic_os (String.length config.image) with
+      | None -> Error "cannot stage image: on-NIC RAM exhausted"
+      | Some stage -> begin
+        match
+          Dma.transfer ~checked:false (Machine.dma m) ~bank:0 ~direction:Dma.To_nic ~nic_addr:stage ~host_addr:0
+            ~len:(String.length config.image)
+        with
+        | Error e ->
+          Alloc.free (Machine.alloc m) stage;
+          Error e
+        | Ok () ->
+          let image = Physmem.read_bytes (Machine.mem m) ~pos:stage ~len:(String.length config.image) in
+          Alloc.free (Machine.alloc m) stage;
+          Ok image
+      end
+    end
+  in
+  match staged with
+  | Error e -> Error e
+  | Ok image -> begin
+    let cores =
+      if config.cores <> [] then config.cores
+      else begin
+        match Machine.free_cores m with
+        | [] -> []
+        | c :: _ -> [ c ]
+      end
+    in
+    match Instructions.nf_launch t.instr { config with cores; image } with
+    | Ok (handle, _latency) -> Ok (Vnic.of_handle t.instr handle)
+    | Error e -> Error (Instructions.error_to_string e)
+  end
+
+let nf_destroy t ~id =
+  match Instructions.nf_teardown t.instr ~id with
+  | Ok _ -> Ok ()
+  | Error e -> Error (Instructions.error_to_string e)
+
+let inject t frame = Pktio.deliver (Machine.pktio (machine t)) frame
+let inject_packet t pkt = inject t (Net.Packet.serialize pkt)
+
+let transmitted t =
+  List.filter_map
+    (fun frame -> Result.to_option (Net.Packet.parse frame))
+    (Pktio.wire_out (Machine.pktio (machine t)))

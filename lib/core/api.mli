@@ -1,0 +1,38 @@
+(** The NIC-OS-visible management API (first column of Table 1).
+
+    [nf_create]/[nf_destroy] are what the (untrusted) NIC OS exposes to
+    the host; underneath they stage the function image into on-NIC RAM by
+    DMA and invoke the trusted [nf_launch]/[nf_teardown] instructions. The
+    OS can refuse service (denial of service is out of scope, §4.8) but
+    cannot forge a measurement: a mis-staged function fails attestation. *)
+
+type t
+
+(** [create ?vendor ?serial machine_config] boots a fresh S-NIC: builds
+    the machine in [Snic] mode with its manufactured identity. *)
+val boot : ?vendor:Identity.vendor -> ?serial:string -> unit -> t
+
+(** Boot against a caller-supplied machine configuration (must be Snic
+    mode). *)
+val boot_with : ?vendor:Identity.vendor -> ?serial:string -> Nicsim.Machine.config -> t
+
+val instructions : t -> Instructions.t
+val machine : t -> Nicsim.Machine.t
+val vendor : t -> Identity.vendor
+
+(** [nf_create t config] — Table 1's
+    [NF_create(net_config, core_config, ...)]. Stages the image through
+    host RAM + DMA, picks free cores if [config.cores] is empty, and
+    launches. Returns the running function's virtual NIC. *)
+val nf_create : t -> Instructions.launch_config -> (Vnic.t, string) result
+
+(** [nf_destroy t ~id] — Table 1's [NF_destroy(nf_id)]. *)
+val nf_destroy : t -> id:int -> (unit, string) result
+
+(** [inject t frame] puts a frame on the simulated wire (RX path). *)
+val inject : t -> Bytes.t -> (int, string) result
+
+val inject_packet : t -> Net.Packet.t -> (int, string) result
+
+(** Frames transmitted by functions, oldest first. *)
+val transmitted : t -> Net.Packet.t list

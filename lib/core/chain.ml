@@ -1,0 +1,72 @@
+open Nicsim
+
+let compose ~name nfs =
+  if nfs = [] then invalid_arg "Chain.compose: empty chain";
+  {
+    Nf.Types.name;
+    process =
+      (fun pkt ->
+        let rec go pkt = function
+          | [] -> Nf.Types.Forward pkt
+          | (nf : Nf.Types.t) :: rest -> begin
+            match nf.Nf.Types.process pkt with
+            | Nf.Types.Forward pkt' -> go pkt' rest
+            | Nf.Types.Drop _ as d -> d
+          end
+        in
+        go pkt nfs);
+  }
+
+type t = { api : Api.t; stages : (Vnic.t * Nf.Types.t) array }
+
+let create api stages =
+  if stages = [] then invalid_arg "Chain.create: empty chain";
+  { api; stages = Array.of_list stages }
+
+type stage_stats = { nf : string; received : int; forwarded : int; dropped : int }
+
+let pump t ~max =
+  let m = Api.machine t.api in
+  let n = Array.length t.stages in
+  let stats = ref [] in
+  for i = 0 to n - 1 do
+    let vnic, nf = t.stages.(i) in
+    let received = ref 0 and forwarded = ref 0 and dropped = ref 0 in
+    let continue = ref true in
+    while !continue && !received < max do
+      match Vnic.rx_packet vnic with
+      | Ok None -> continue := false
+      | Error _ ->
+        incr received;
+        incr dropped
+      | Ok (Some (pkt, buffer)) -> begin
+        incr received;
+        match nf.Nf.Types.process pkt with
+        | Nf.Types.Drop _ ->
+          Vnic.drop vnic ~buffer;
+          incr dropped
+        | Nf.Types.Forward pkt' ->
+          if i = n - 1 then begin
+            match Vnic.tx_packet vnic ~buffer pkt' with
+            | Ok () -> incr forwarded
+            | Error _ ->
+              Vnic.drop vnic ~buffer;
+              incr dropped
+          end
+          else begin
+            (* Trusted cross-VPP transfer into the next stage. *)
+            let next_id = Vnic.id (fst t.stages.(i + 1)) in
+            let frame = Net.Packet.serialize pkt' in
+            (match Pktio.deliver_to (Machine.pktio m) ~nf:next_id frame with
+            | Ok () -> incr forwarded
+            | Error _ -> incr dropped);
+            Vnic.drop vnic ~buffer
+          end
+      end
+    done;
+    stats := { nf = nf.Nf.Types.name; received = !received; forwarded = !forwarded; dropped = !dropped } :: !stats
+  done;
+  List.rev !stats
+
+let backlog t =
+  Array.fold_left (fun acc (vnic, _) -> acc + Vnic.rx_depth vnic) 0 t.stages

@@ -1,0 +1,37 @@
+(** Function chaining (§4.8).
+
+    S-NIC's strict isolation prohibits shared memory between functions in
+    different virtual NICs. The paper sketches two ways to chain:
+
+    - {b compiler-enforced isolation}: multiple distrusting functions
+      compiled into the memory region of one virtual NIC, composed at the
+      language level ([compose]); cheap, but cross-function side channels
+      through core-local state remain possible.
+
+    - {b cross-VPP localhost networking} (the extension the paper leaves
+      to future work): each function keeps its own virtual NIC, and
+      trusted hardware moves packets directly between the side-channel-
+      isolated VPPs ([create]/[pump]); information flow between stages is
+      reduced to overt packet contents and timing. *)
+
+(** [compose nfs] runs packets through [nfs] left to right inside one
+    virtual NIC; the first [Drop] wins. *)
+val compose : name:string -> Nf.Types.t list -> Nf.Types.t
+
+(** A cross-VPP chain: each stage is a launched function with its own
+    virtual NIC. *)
+type t
+
+(** [create api stages] wires the stages in order. At least one stage. *)
+val create : Api.t -> (Vnic.t * Nf.Types.t) list -> t
+
+type stage_stats = { nf : string; received : int; forwarded : int; dropped : int }
+
+(** [pump t ~max] drains up to [max] packets per stage, transferring each
+    stage's forwards into the next stage's VPP via the trusted cross-VPP
+    path; the last stage transmits to the wire. Call repeatedly until the
+    chain is empty. *)
+val pump : t -> max:int -> stage_stats list
+
+(** Total packets currently queued across the chain's VPPs. *)
+val backlog : t -> int

@@ -1,0 +1,42 @@
+type vendor = { name : string; key : Crypto.Rsa.keypair }
+
+type t = {
+  ek : Crypto.Rsa.keypair;
+  ek_cert : Crypto.Rsa.certificate;
+  rng : Random.State.t;
+  mutable ak : Crypto.Rsa.keypair;
+  mutable ak_sig : string;
+}
+
+let make_vendor ?(seed = 0xC0FFEE) ~name () =
+  { name; key = Crypto.Rsa.generate (Random.State.make [| seed |]) ~bits:512 }
+
+let vendor_public v = v.key.Crypto.Rsa.pub
+let vendor_name v = v.name
+
+let ak_binding pub = "snic-ak|" ^ Crypto.Rsa.public_to_string pub
+
+let fresh_ak rng ek =
+  let ak = Crypto.Rsa.generate rng ~bits:512 in
+  (ak, Crypto.Rsa.sign ek (ak_binding ak.Crypto.Rsa.pub))
+
+let manufacture ?(seed = 0x51C) vendor ~serial =
+  let rng = Random.State.make [| seed |] in
+  let ek = Crypto.Rsa.generate rng ~bits:512 in
+  let ek_cert = Crypto.Rsa.issue ~issuer_name:vendor.name ~issuer_key:vendor.key ~subject:("S-NIC EK " ^ serial) ek.Crypto.Rsa.pub in
+  let ak, ak_sig = fresh_ak rng ek in
+  { ek; ek_cert; rng; ak; ak_sig }
+
+let reboot t =
+  let ak, ak_sig = fresh_ak t.rng t.ek in
+  t.ak <- ak;
+  t.ak_sig <- ak_sig
+
+let ek_certificate t = t.ek_cert
+let ak_public t = t.ak.Crypto.Rsa.pub
+let ak_endorsement t = t.ak_sig
+let sign_quote t payload = Crypto.Rsa.sign t.ak payload
+
+let check_ak_chain ~vendor_public ~ek_cert ~ak ~endorsement =
+  Crypto.Rsa.check_certificate ~issuer_key:vendor_public ek_cert
+  && Crypto.Rsa.verify ek_cert.Crypto.Rsa.key ~msg:(ak_binding ak) ~signature:endorsement

@@ -1,0 +1,45 @@
+(** The NIC's cryptographic identity (Appendix A).
+
+    At manufacturing time an S-NIC receives an endorsement key pair [EK]
+    whose public half is certified by the NIC vendor. After every boot the
+    NIC generates a fresh attestation key pair [AK] and signs its public
+    half with the [EK]. Quotes are signed with [AK_priv], so a verifier
+    checks: vendor cert -> EK -> AK -> quote. *)
+
+type t
+
+(** A vendor: a root signing key plus its name. Test/simulation vendors
+    are generated deterministically from a seed. *)
+type vendor
+
+val make_vendor : ?seed:int -> name:string -> unit -> vendor
+val vendor_public : vendor -> Crypto.Rsa.public
+val vendor_name : vendor -> string
+
+(** [manufacture vendor ~serial] burns in an EK and returns the NIC
+    identity, already booted once (an AK exists). Key sizes are modest
+    (512-bit) to keep simulations fast; the protocol is unchanged. *)
+val manufacture : ?seed:int -> vendor -> serial:string -> t
+
+(** [reboot t] discards the AK and generates a fresh one (new signature
+    chain, same EK). *)
+val reboot : t -> unit
+
+val ek_certificate : t -> Crypto.Rsa.certificate
+
+(** The AK public key and the EK signature over it. *)
+val ak_public : t -> Crypto.Rsa.public
+
+val ak_endorsement : t -> string
+
+(** [sign_quote t payload] signs with [AK_priv] — the core of nf_attest. *)
+val sign_quote : t -> string -> string
+
+(** Verifier side: check that [ak] is endorsed by the EK in [cert], and
+    [cert] by the vendor. *)
+val check_ak_chain :
+  vendor_public:Crypto.Rsa.public -> ek_cert:Crypto.Rsa.certificate -> ak:Crypto.Rsa.public -> endorsement:string ->
+  bool
+
+(** Serialization of an AK public key as signed by the EK. *)
+val ak_binding : Crypto.Rsa.public -> string

@@ -1,0 +1,253 @@
+open Nicsim
+
+type launch_config = {
+  cores : int list;
+  image : string;
+  memory_bytes : int;
+  rules : Pktio.rule_match list;
+  rx_bytes : int;
+  tx_bytes : int;
+  sched : Sched.policy; (* the VPP's packet scheduling algorithm *)
+  accels : (Accel.kind * int) list;
+  host_window : (int * int) option; (* host RAM (base, len) sanctioned for DMA *)
+}
+
+let default_config =
+  {
+    cores = [];
+    image = "";
+    memory_bytes = 1 lsl 20;
+    rules = [];
+    rx_bytes = 64 * 1024;
+    tx_bytes = 64 * 1024;
+    sched = Sched.Fifo;
+    accels = [];
+    host_window = None;
+  }
+
+type handle = {
+  id : int;
+  cores : int list;
+  mem_base : int;
+  mem_len : int;
+  vbase : int;
+  clusters : (Accel.kind * int) list;
+  measurement : string;
+}
+
+type error =
+  | Not_an_snic
+  | Cores_unavailable of int list
+  | Memory_unavailable
+  | Pages_already_owned of int
+  | Vpp_unavailable of string
+  | Accel_unavailable of Accel.kind
+  | Too_many_functions
+  | Unknown_function of int
+
+let error_to_string = function
+  | Not_an_snic -> "machine is not an S-NIC"
+  | Cores_unavailable cs -> "cores unavailable: " ^ String.concat "," (List.map string_of_int cs)
+  | Memory_unavailable -> "on-NIC RAM exhausted"
+  | Pages_already_owned a -> Printf.sprintf "page at %#x already belongs to a live function" a
+  | Vpp_unavailable msg -> "virtual packet pipeline: " ^ msg
+  | Accel_unavailable k -> "no free " ^ Accel.kind_name k ^ " cluster"
+  | Too_many_functions -> "all isolation domains in use"
+  | Unknown_function id -> Printf.sprintf "no function with id %d" id
+
+type t = {
+  machine : Machine.t;
+  identity : Identity.t;
+  mutable live : handle list;
+  max_functions : int;
+}
+
+let vbase = 0x10000000
+
+let create machine identity =
+  if Machine.mode machine <> Machine.Snic then invalid_arg "Instructions.create: machine must be in Snic mode";
+  { machine; identity; live = []; max_functions = Bus.clients (Machine.bus machine) }
+
+let machine t = t.machine
+let identity t = t.identity
+let live_functions t = t.live
+let find t ~id = List.find_opt (fun h -> h.id = id) t.live
+
+type launch_latency = { tlb_setup : int; denylist : int; digest : int }
+type teardown_latency = { allowlist : int; scrub : int }
+
+let ( let* ) = Result.bind
+
+(* Cycle-cost constants: SHA-256 digesting dominates launch and scales
+   with image size; scrubbing dominates teardown and scales with the
+   reservation (both as measured on the Marvell NIC in Appendix C). *)
+let digest_cycles_per_byte = 3
+let scrub_cycles_per_byte = 1
+let tlb_setup_cycles = 24_000
+let denylist_cycles_per_page = 40
+
+let fresh_id t =
+  let used = List.map (fun h -> h.id) t.live in
+  let rec go i = if i >= t.max_functions then None else if List.mem i used then go (i + 1) else Some i in
+  go 0
+
+let round_pages n = (n + Physmem.page_size - 1) land lnot (Physmem.page_size - 1)
+
+let nf_launch t (config : launch_config) =
+  let m = t.machine in
+  let* id = Option.to_result ~none:Too_many_functions (fresh_id t) in
+  (* 1. Cores must exist and be unbound. *)
+  let bad_cores =
+    List.filter (fun c -> c < 0 || c >= Machine.cores m || Machine.core_owner m ~core:c <> None) config.cores
+  in
+  let* () = if bad_cores <> [] || config.cores = [] then Error (Cores_unavailable bad_cores) else Ok () in
+  (* 2. RAM: the reservation must cover the image. Claimed from the
+     allocator; ownership flips to the new function, arming the denylist. *)
+  let mem_len = round_pages (max config.memory_bytes (String.length config.image)) in
+  (* Natural alignment (capped at 64 MB) lets the locked TLBs cover the
+     region with a handful of variable-size entries (§4.2). *)
+  let align =
+    let rec pow2 p = if p >= mem_len || p >= 64 * 1024 * 1024 then p else pow2 (2 * p) in
+    pow2 Physmem.page_size
+  in
+  let* mem_base =
+    Option.to_result ~none:Memory_unavailable (Alloc.alloc (Machine.alloc m) ~align ~owner:(Physmem.Nf id) mem_len)
+  in
+  (* From here on, failures must unwind the allocation. *)
+  let unwind e =
+    Alloc.free (Machine.alloc m) mem_base;
+    Error e
+  in
+  (* 3. Virtual packet pipeline: buffer space in physical ports + rules. *)
+  match Pktio.reserve (Machine.pktio m) ~sched:config.sched ~nf:id ~rx_bytes:config.rx_bytes ~tx_bytes:config.tx_bytes with
+  | Error msg -> unwind (Vpp_unavailable msg)
+  | Ok () -> begin
+    (* 4. Accelerator clusters, each fronted by a locked TLB bank. *)
+    let claimed = ref [] in
+    let release_claimed () =
+      List.iter
+        (fun (kind, c) ->
+          Physmem.set_owner (Machine.mem m)
+            ~pos:(Machine.accel_mmio_base m ~kind ~cluster:c)
+            ~len:Physmem.page_size Physmem.Nic_os;
+          Accel.release_clusters (Machine.accel m kind) ~nf:id)
+        !claimed
+    in
+    let rec claim = function
+      | [] -> Ok ()
+      | (kind, count) :: rest ->
+        let accel = Machine.accel m kind in
+        let rec grab n =
+          if n = 0 then Ok ()
+          else begin
+            match Accel.claim_cluster accel ~nf:id with
+            | None -> Error (Accel_unavailable kind)
+            | Some c ->
+              claimed := (kind, c) :: !claimed;
+              let tlb = Accel.cluster_tlb accel ~cluster:c in
+              ignore (Tlb.map_region tlb ~vbase ~pbase:mem_base ~len:mem_len ~writable:true);
+              Tlb.lock tlb;
+              (* The cluster's MMIO registers become the function's: no
+                 other tenant (or the OS) can reconfigure its threads. *)
+              Physmem.set_owner (Machine.mem m)
+                ~pos:(Machine.accel_mmio_base m ~kind ~cluster:c)
+                ~len:Physmem.page_size (Physmem.Nf id);
+              grab (n - 1)
+          end
+        in
+        let* () = grab count in
+        claim rest
+    in
+    match claim config.accels with
+    | Error e ->
+      release_claimed ();
+      Pktio.release (Machine.pktio m) ~nf:id;
+      unwind e
+    | Ok () ->
+      (* 5. Scrub the reservation (heap slots are recycled across
+         tenants and transmit does not zero packet buffers — without this
+         the new function could read a predecessor's stale bytes), copy
+         the image, bind cores, install + lock core TLBs. *)
+      Physmem.zero_range (Machine.mem m) ~pos:mem_base ~len:mem_len;
+      Physmem.write_bytes (Machine.mem m) ~pos:mem_base config.image;
+      List.iter (fun c -> Machine.bind_core m ~core:c ~nf:id) config.cores;
+      List.iter
+        (fun c ->
+          let tlb = Machine.core_tlb m ~core:c in
+          ignore (Tlb.map_region tlb ~vbase ~pbase:mem_base ~len:mem_len ~writable:true);
+          Tlb.lock tlb)
+        config.cores;
+      (* 6. Switch rules. *)
+      List.iter (fun r -> Pktio.add_rule (Machine.pktio m) ~m:r ~nf:id) config.rules;
+      (* 6b. DMA banks: each of the function's cores gets a bank whose
+         upstream TLB covers only the function's RAM and whose downstream
+         TLB covers only the host-sanctioned window (SR-IOV-style, §4.2).
+         Both are then locked. *)
+      List.iter
+        (fun c ->
+          let bank = c in
+          let up = Dma.up_tlb (Machine.dma m) ~bank in
+          ignore (Tlb.map_region up ~vbase ~pbase:mem_base ~len:mem_len ~writable:true);
+          Tlb.lock up;
+          let down = Dma.down_tlb (Machine.dma m) ~bank in
+          (match config.host_window with
+          | Some (hbase, hlen) -> ignore (Tlb.map_region down ~vbase:0 ~pbase:hbase ~len:hlen ~writable:true)
+          | None -> ());
+          Tlb.lock down)
+        config.cores;
+      (* 7. Cumulative measurement. *)
+      let measurement =
+        Measurement.of_config ~image:config.image ~cores:config.cores ~mem_base ~mem_len ~rules:config.rules
+          ~accels:config.accels ~rx_bytes:config.rx_bytes ~tx_bytes:config.tx_bytes ~sched:config.sched
+      in
+      let handle = { id; cores = config.cores; mem_base; mem_len; vbase; clusters = !claimed; measurement } in
+      t.live <- handle :: t.live;
+      let latency =
+        {
+          tlb_setup = tlb_setup_cycles * (List.length config.cores + List.length !claimed);
+          denylist = denylist_cycles_per_page * (mem_len / Physmem.page_size);
+          digest = digest_cycles_per_byte * mem_len;
+        }
+      in
+      Ok (handle, latency)
+  end
+
+let quote_payload ~measurement ~group ~dh_public ~nonce =
+  String.concat "|"
+    [
+      "snic-quote";
+      Crypto.Sha256.to_hex measurement;
+      Bigint.to_hex group.Crypto.Dh.g;
+      Bigint.to_hex group.Crypto.Dh.p;
+      Crypto.Sha256.to_hex (Crypto.Sha256.digest nonce);
+      Bigint.to_hex dh_public;
+    ]
+
+let nf_attest t ~id ~group ~dh_public ~nonce =
+  match find t ~id with
+  | None -> Error (Unknown_function id)
+  | Some h -> Ok (Identity.sign_quote t.identity (quote_payload ~measurement:h.measurement ~group ~dh_public ~nonce))
+
+let nf_teardown t ~id =
+  match find t ~id with
+  | None -> Error (Unknown_function id)
+  | Some h ->
+    let m = t.machine in
+    (* Scrub RAM and microarchitectural state before releasing anything. *)
+    Physmem.zero_range (Machine.mem m) ~pos:h.mem_base ~len:h.mem_len;
+    Cache.flush_domain (Machine.l2 m) h.id;
+    (* Release accelerators, VPP, cores; ownership back to Free removes
+       the pages from the denylist. *)
+    List.iter
+      (fun (kind, c) ->
+        Physmem.zero_range (Machine.mem m) ~pos:(Machine.accel_mmio_base m ~kind ~cluster:c) ~len:Physmem.page_size;
+        Physmem.set_owner (Machine.mem m)
+          ~pos:(Machine.accel_mmio_base m ~kind ~cluster:c)
+          ~len:Physmem.page_size Physmem.Nic_os;
+        Accel.release_clusters (Machine.accel m kind) ~nf:id)
+      h.clusters;
+    Pktio.release (Machine.pktio m) ~nf:id;
+    Machine.unbind_cores m ~nf:id;
+    Alloc.free (Machine.alloc m) h.mem_base;
+    t.live <- List.filter (fun x -> x.id <> id) t.live;
+    Ok { allowlist = denylist_cycles_per_page * (h.mem_len / Physmem.page_size); scrub = scrub_cycles_per_byte * h.mem_len }

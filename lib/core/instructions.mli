@@ -1,0 +1,82 @@
+(** The three trusted S-NIC instructions of Table 1: [nf_launch],
+    [nf_attest] and [nf_teardown], implemented against the simulated
+    machine. Each is atomic: on any validation failure nothing is
+    modified.
+
+    These are *hardware* instructions in the paper — complex microcoded
+    operations the untrusted NIC OS invokes but cannot subvert. The
+    higher-level management API of the NIC OS lives in {!Api}. *)
+
+type launch_config = {
+  cores : int list; (* requested programmable cores *)
+  image : string; (* initial code + data, copied into the reservation *)
+  memory_bytes : int; (* size of the virtual NIC's RAM *)
+  rules : Nicsim.Pktio.rule_match list; (* switch rules feeding the VPP *)
+  rx_bytes : int; (* VPP buffer reservations in the physical ports *)
+  tx_bytes : int;
+  sched : Nicsim.Sched.policy; (* the VPP's packet scheduler *)
+  accels : (Nicsim.Accel.kind * int) list; (* (kind, cluster count) *)
+  host_window : (int * int) option; (* host RAM (base, len) sanctioned for DMA *)
+}
+
+val default_config : launch_config
+
+type handle = {
+  id : int;
+  cores : int list;
+  mem_base : int; (* physical base of the function's RAM *)
+  mem_len : int;
+  vbase : int; (* the fixed virtual base its core TLBs map *)
+  clusters : (Nicsim.Accel.kind * int) list; (* claimed cluster ids *)
+  measurement : string; (* cumulative SHA-256 of the initial state *)
+}
+
+type error =
+  | Not_an_snic
+  | Cores_unavailable of int list
+  | Memory_unavailable
+  | Pages_already_owned of int
+  | Vpp_unavailable of string
+  | Accel_unavailable of Nicsim.Accel.kind
+  | Too_many_functions
+  | Unknown_function of int
+
+val error_to_string : error -> string
+
+type t
+
+(** [create machine identity] wraps an S-NIC-mode machine with the
+    trusted instruction state ("hardware-private memory"). Fails with
+    [Invalid_argument] if the machine is not in [Snic] mode. *)
+val create : Nicsim.Machine.t -> Identity.t -> t
+
+val machine : t -> Nicsim.Machine.t
+val identity : t -> Identity.t
+
+(** Simulated instruction latencies (cycles at the NIC clock), split by
+    phase as in Figure 6 of the paper. *)
+type launch_latency = { tlb_setup : int; denylist : int; digest : int }
+
+type teardown_latency = { allowlist : int; scrub : int }
+
+(** [nf_launch t config] validates and atomically installs a function:
+    claims cores, flips page ownership (which arms the OS denylist),
+    installs and locks core/accelerator TLBs, reserves VPP buffers and
+    switch rules, and accumulates the measurement. *)
+val nf_launch : t -> launch_config -> (handle * launch_latency, error) result
+
+(** [nf_attest t ~id ~dh_public ~nonce] signs
+    H(measurement || g || p || nonce || g^x) with the attestation key.
+    Returns the signature (the caller assembles the full quote; see
+    {!Attestation}). *)
+val nf_attest : t -> id:int -> group:Crypto.Dh.group -> dh_public:Bigint.t -> nonce:string -> (string, error) result
+
+(** [nf_teardown t ~id] scrubs the function's RAM, registers, cache lines
+    and descriptors, then releases every resource. *)
+val nf_teardown : t -> id:int -> (teardown_latency, error) result
+
+val live_functions : t -> handle list
+val find : t -> id:int -> handle option
+
+(** What nf_attest signs, exposed so verifiers can recompute it. *)
+val quote_payload : measurement:string -> group:Crypto.Dh.group -> dh_public:Bigint.t -> nonce:string -> string

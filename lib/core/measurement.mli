@@ -1,0 +1,38 @@
+(** Cumulative measurement of a network function's initial state.
+
+    As nf_launch installs the pieces of a function it folds each one into
+    a running SHA-256 (§4.6): the initial code/data image, the switching
+    rules that select its packets, the resource reservations. The final
+    digest is what nf_attest signs, so a NIC OS that tampers with any
+    input produces a measurement the remote verifier will reject. *)
+
+type t
+
+val start : unit -> t
+
+(** Each [record_*] absorbs a length-prefixed, tagged encoding, so
+    distinct field sequences can never collide by concatenation. *)
+val record_image : t -> string -> unit
+
+val record_cores : t -> int list -> unit
+val record_memory : t -> base:int -> len:int -> unit
+val record_rule : t -> Nicsim.Pktio.rule_match -> unit
+val record_accel : t -> kind:Nicsim.Accel.kind -> clusters:int -> unit
+val record_vpp : t -> rx_bytes:int -> tx_bytes:int -> sched:Nicsim.Sched.policy -> unit
+
+(** The 32-byte digest. The measurement must not be used afterwards. *)
+val finish : t -> string
+
+(** [of_config] builds the whole measurement in one step — what a remote
+    verifier does to compute the expected value independently. *)
+val of_config :
+  image:string ->
+  cores:int list ->
+  mem_base:int ->
+  mem_len:int ->
+  rules:Nicsim.Pktio.rule_match list ->
+  accels:(Nicsim.Accel.kind * int) list ->
+  rx_bytes:int ->
+  tx_bytes:int ->
+  sched:Nicsim.Sched.policy ->
+  string

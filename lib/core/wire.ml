@@ -1,0 +1,27 @@
+let encode fields =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun f ->
+      let n = String.length f in
+      for i = 3 downto 0 do
+        Buffer.add_char buf (Char.chr ((n lsr (8 * i)) land 0xff))
+      done;
+      Buffer.add_string buf f)
+    fields;
+  Buffer.contents buf
+
+let decode ~expect s =
+  let n = String.length s in
+  let rec go pos acc count =
+    if count = expect then if pos = n then Ok (List.rev acc) else Error "trailing bytes after last field"
+    else if pos + 4 > n then Error "truncated length prefix"
+    else begin
+      let len =
+        (Char.code s.[pos] lsl 24) lor (Char.code s.[pos + 1] lsl 16) lor (Char.code s.[pos + 2] lsl 8)
+        lor Char.code s.[pos + 3]
+      in
+      if pos + 4 + len > n then Error "truncated field"
+      else go (pos + 4 + len) (String.sub s (pos + 4) len :: acc) (count + 1)
+    end
+  in
+  go 0 [] 0

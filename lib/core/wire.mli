@@ -1,0 +1,9 @@
+(** Tiny length-prefixed wire format for attestation messages that cross
+    the (untrusted) network: each field is a 4-byte big-endian length
+    followed by its bytes. Decoding is strict — trailing garbage and
+    truncation are errors. *)
+
+val encode : string list -> string
+
+(** [decode ~expect s] returns exactly [expect] fields or an error. *)
+val decode : expect:int -> string -> (string list, string) result

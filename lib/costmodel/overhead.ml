@@ -1,0 +1,52 @@
+type config = { cores : int; core_tlb_entries : int; accel_cluster_counts : int; vpp_units : int }
+
+let headline = { cores = 4; core_tlb_entries = 512; accel_cluster_counts = 16; vpp_units = 12 }
+
+let accel_tlb_entries = [ ("DPI", 54); ("ZIP", 70); ("RAID", 5) ]
+let vpp_tlb_entries = 3
+let dma_tlb_entries = 2
+
+type breakdown = {
+  core_area : float;
+  accel_area : float;
+  io_area : float;
+  total_area : float;
+  core_power : float;
+  accel_power : float;
+  io_power : float;
+  total_power : float;
+  area_overhead_pct : float;
+  power_overhead_pct : float;
+}
+
+let compute c =
+  let fc = float_of_int in
+  let core_area = fc c.cores *. Tlb_cost.area_mm2 c.core_tlb_entries in
+  let core_power = fc c.cores *. Tlb_cost.power_w c.core_tlb_entries in
+  let accel_area =
+    List.fold_left (fun acc (_, e) -> acc +. (fc c.accel_cluster_counts *. Tlb_cost.area_mm2 e)) 0. accel_tlb_entries
+  in
+  let accel_power =
+    List.fold_left (fun acc (_, e) -> acc +. (fc c.accel_cluster_counts *. Tlb_cost.power_w e)) 0. accel_tlb_entries
+  in
+  let io_area = fc c.vpp_units *. (Tlb_cost.area_mm2 vpp_tlb_entries +. Tlb_cost.area_mm2 dma_tlb_entries) in
+  let io_power = fc c.vpp_units *. (Tlb_cost.power_w vpp_tlb_entries +. Tlb_cost.power_w dma_tlb_entries) in
+  let total_area = core_area +. accel_area +. io_area in
+  let total_power = core_power +. accel_power +. io_power in
+  (* Denominator: the A9 baseline including the per-core TLBs, matching
+     the paper's "compared to a baseline 4-core A9 with a TLB size of 512
+     entries". *)
+  let denom_area = Tlb_cost.a9_baseline_area_mm2 +. core_area in
+  let denom_power = Tlb_cost.a9_baseline_power_w +. core_power in
+  {
+    core_area;
+    accel_area;
+    io_area;
+    total_area;
+    core_power;
+    accel_power;
+    io_power;
+    total_power;
+    area_overhead_pct = 100. *. total_area /. denom_area;
+    power_overhead_pct = 100. *. total_power /. denom_power;
+  }

@@ -1,0 +1,35 @@
+(** Aggregate S-NIC silicon overhead (§5.2): core TLBs + virtualized
+    accelerator TLB banks + VPP/DMA TLB banks, relative to the
+    TLB-extended 4-core Cortex-A9 (that is the denominator that yields
+    the paper's headline 8.89% / 11.45%). *)
+
+type config = {
+  cores : int; (* programmable cores carrying a per-core TLB *)
+  core_tlb_entries : int; (* 512 in the headline configuration *)
+  accel_cluster_counts : int; (* clusters per accelerator (16 headline) *)
+  vpp_units : int; (* 12 headline (48 cores / 4 cores per NF) *)
+}
+
+val headline : config
+
+type breakdown = {
+  core_area : float;
+  accel_area : float;
+  io_area : float; (* VPP + DMA banks *)
+  total_area : float;
+  core_power : float;
+  accel_power : float;
+  io_power : float;
+  total_power : float;
+  area_overhead_pct : float; (* vs TLB-extended A9 *)
+  power_overhead_pct : float;
+}
+
+val compute : config -> breakdown
+
+(** Per-accelerator TLB bank entry counts (Table 7's derivation):
+    DPI 54, ZIP 70, RAID 5. *)
+val accel_tlb_entries : (string * int) list
+
+val vpp_tlb_entries : int
+val dma_tlb_entries : int

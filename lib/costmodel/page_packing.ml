@@ -1,0 +1,42 @@
+let kb = 1024
+let equal_2mb = [ 2048 * kb ]
+let flex_low = [ 128 * kb; 2048 * kb; 65536 * kb ]
+let flex_high = [ 2048 * kb; 32768 * kb; 131072 * kb ]
+
+let mb x = int_of_float (x *. 1024. *. 1024.)
+
+let validate page_sizes =
+  match List.sort compare page_sizes with
+  | [] -> invalid_arg "Page_packing: empty page-size menu"
+  | smallest :: _ as sorted ->
+    (* Each size must divide the next for the greedy decomposition to be
+       optimal. *)
+    let rec chain = function
+      | a :: (b :: _ as rest) ->
+        if b mod a <> 0 then invalid_arg "Page_packing: page sizes must divide each other";
+        chain rest
+      | _ -> ()
+    in
+    chain sorted;
+    (smallest, List.rev sorted)
+
+let alloc_for_region ~smallest bytes =
+  if bytes < 0 then invalid_arg "Page_packing: negative region";
+  if bytes = 0 then 0 else (bytes + smallest - 1) / smallest * smallest
+
+let entries_for_region ~page_sizes bytes =
+  let smallest, desc = validate page_sizes in
+  let alloc = alloc_for_region ~smallest bytes in
+  let rec go remaining = function
+    | [] -> 0
+    | size :: rest -> (remaining / size) + go (remaining mod size) rest
+  in
+  go alloc desc
+
+let entries ~page_sizes regions = List.fold_left (fun acc r -> acc + entries_for_region ~page_sizes r) 0 regions
+
+let allocated ~page_sizes regions =
+  let smallest, _ = validate page_sizes in
+  List.fold_left (fun acc r -> acc + alloc_for_region ~smallest r) 0 regions
+
+let waste ~page_sizes regions = allocated ~page_sizes regions - List.fold_left ( + ) 0 regions

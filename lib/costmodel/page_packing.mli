@@ -1,0 +1,33 @@
+(** Variable-page-size packing: how many locked TLB entries cover a
+    function's memory regions under a given page-size menu (§5.2,
+    Tables 5–7).
+
+    Policy, as in the paper: minimize wasted memory first (so the
+    allocation for each region is its size rounded up to the *smallest*
+    page), then minimize entries (greedy decomposition into the largest
+    pages; exact because each menu size divides the next). *)
+
+(** Page-size menus from §5.2 (sizes in bytes). Note: Table 5 in the
+    paper swaps the "Flex-low"/"Flex-high" labels relative to the body
+    text; we follow the body text ([flex_low] = 128 KB/2 MB/64 MB). *)
+val equal_2mb : int list
+
+val flex_low : int list
+val flex_high : int list
+
+(** [entries_for_region ~page_sizes bytes] — TLB entries for one region. *)
+val entries_for_region : page_sizes:int list -> int -> int
+
+(** [entries ~page_sizes regions] — total over regions (each region gets
+    its own aligned mapping, as text/data/code/heap do). *)
+val entries : page_sizes:int list -> int list -> int
+
+(** [allocated ~page_sizes regions] — bytes actually reserved (>= sum of
+    region sizes; the difference is internal fragmentation). *)
+val allocated : page_sizes:int list -> int list -> int
+
+(** [waste ~page_sizes regions] — allocated minus requested bytes. *)
+val waste : page_sizes:int list -> int list -> int
+
+val mb : float -> int
+(** [mb 2.5] = 2.5 MiB in bytes, for writing profiles naturally. *)

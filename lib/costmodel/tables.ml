@@ -1,0 +1,32 @@
+type row = { label : string; entries : int; units : int; area_mm2 : float; power_w : float }
+
+let row ~label ~entries ~units =
+  {
+    label;
+    entries;
+    units;
+    area_mm2 = float_of_int units *. Tlb_cost.area_mm2 entries;
+    power_w = float_of_int units *. Tlb_cost.power_w entries;
+  }
+
+let table2 () =
+  List.concat_map
+    (fun (label, entries) -> List.map (fun units -> row ~label ~entries ~units) [ 4; 8; 16; 48 ])
+    [ ("366MB/core", 183); ("512MB/core", 256); ("1024MB/core", 512) ]
+
+let table3 () =
+  List.concat_map
+    (fun (label, entries) -> List.map (fun units -> row ~label ~entries ~units) [ 16; 8; 4 ])
+    Overhead.accel_tlb_entries
+
+let table4 () =
+  List.concat_map
+    (fun (label, entries) -> List.map (fun units -> row ~label ~entries ~units) [ 12; 6; 3 ])
+    [ ("VPP", Overhead.vpp_tlb_entries); ("DMA", Overhead.dma_tlb_entries) ]
+
+let table5_row ~label ~entries ~cores = row ~label ~entries ~units:cores
+
+let find rows ~label ~units =
+  match List.find_opt (fun r -> String.equal r.label label && r.units = units) rows with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Tables.find: no row %s x%d" label units)

@@ -1,0 +1,55 @@
+(* Per-unit anchors recovered from the paper:
+   - 2/3 entries: Table 4 VPP/DMA banks (0.037 mm2, 0.017 W for 12 banks)
+   - 5: RAID accelerator TLB (Table 3, 16 clusters)
+   - 13 / 51 / 183: Table 5 page-size settings across 48 cores
+   - 54 / 70: DPI / ZIP accelerator TLBs (Table 3)
+   - 256 / 512: Table 2 per-core TLBs (48-core column) *)
+let anchors =
+  [
+    (2, 0.0030833, 0.0014167);
+    (5, 0.0031250, 0.0014375);
+    (13, 0.0031250, 0.0014375);
+    (51, 0.0044583, 0.0022083);
+    (54, 0.0046250, 0.0023125);
+    (70, 0.0056875, 0.0027500);
+    (183, 0.0112083, 0.0064792);
+    (256, 0.0149583, 0.0086667);
+    (512, 0.0407500, 0.0219167);
+  ]
+
+let a9_baseline_area_mm2 = 4.939
+let a9_baseline_power_w = 1.883
+
+(* Log-log piecewise-linear interpolation; constant below the first
+   anchor, last-segment slope extrapolation above the final one. *)
+let interp select entries =
+  if entries <= 0 then invalid_arg "Tlb_cost: entry count must be positive";
+  let pts = List.map (fun (e, a, p) -> (float_of_int e, select (a, p))) anchors in
+  let x = float_of_int entries in
+  let rec go = function
+    | [] -> assert false
+    | [ (x1, y1) ] -> (x1, y1, x1, y1) (* above the last anchor: handled below *)
+    | (x1, y1) :: ((x2, y2) :: _ as rest) -> if x <= x2 then (x1, y1, x2, y2) else go rest
+  in
+  match pts with
+  | [] -> assert false
+  | (x0, y0) :: _ ->
+    if x <= x0 then y0
+    else begin
+      let x1, y1, x2, y2 = go pts in
+      if x1 = x2 then begin
+        (* Beyond the final anchor: extrapolate the last segment. *)
+        match List.rev pts with
+        | (xb, yb) :: (xa, ya) :: _ ->
+          let slope = (log yb -. log ya) /. (log xb -. log xa) in
+          exp (log yb +. (slope *. (log x -. log xb)))
+        | _ -> y1
+      end
+      else begin
+        let t = (log x -. log x1) /. (log x2 -. log x1) in
+        exp (log y1 +. (t *. (log y2 -. log y1)))
+      end
+    end
+
+let area_mm2 entries = interp fst entries
+let power_w entries = interp snd entries

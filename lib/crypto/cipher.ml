@@ -1,0 +1,36 @@
+type key = string
+
+let nonce_bytes n =
+  String.init 8 (fun i -> Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical n (8 * (7 - i))) 0xFFL)))
+
+let keystream ~key ~nonce len =
+  let out = Buffer.create len in
+  let counter = ref 0 in
+  while Buffer.length out < len do
+    let block = Sha256.digest (key ^ nonce_bytes nonce ^ string_of_int !counter) in
+    Buffer.add_string out block;
+    incr counter
+  done;
+  Buffer.sub out 0 len
+
+let xor_with ks s = String.init (String.length s) (fun i -> Char.chr (Char.code s.[i] lxor Char.code ks.[i]))
+
+let tag ~key ~nonce ct = String.sub (Hmac.mac ~key (nonce_bytes nonce ^ ct)) 0 16
+
+let seal ~key ~nonce plaintext =
+  let ks = keystream ~key ~nonce (String.length plaintext) in
+  let ct = xor_with ks plaintext in
+  ct ^ tag ~key ~nonce ct
+
+let open_ ~key ~nonce ciphertext =
+  let n = String.length ciphertext in
+  if n < 16 then None
+  else begin
+    let ct = String.sub ciphertext 0 (n - 16) in
+    let t = String.sub ciphertext (n - 16) 16 in
+    if not (String.equal t (tag ~key ~nonce ct)) then None
+    else begin
+      let ks = keystream ~key ~nonce (String.length ct) in
+      Some (xor_with ks ct)
+    end
+  end

@@ -1,0 +1,17 @@
+(** Authenticated stream encryption for attested tunnels.
+
+    After an S-NIC attestation handshake, both endpoints hold a shared
+    32-byte key; packets between them cross a bus / network the datacenter
+    operator can snoop (§2), so payloads are encrypted and authenticated.
+    The cipher is a SHA-256-based keystream with an HMAC tag — an
+    AES-GCM stand-in with the same interface shape (documented substitution;
+    no crypto library is available in this environment). *)
+
+type key = string (* 32 bytes *)
+
+(** [seal ~key ~nonce plaintext] encrypts and appends a 16-byte tag. *)
+val seal : key:key -> nonce:int64 -> string -> string
+
+(** [open_ ~key ~nonce ciphertext] authenticates and decrypts; [None] when
+    the tag does not verify. *)
+val open_ : key:key -> nonce:int64 -> string -> string option

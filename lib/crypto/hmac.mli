@@ -1,0 +1,9 @@
+(** HMAC-SHA256 (RFC 2104), used to derive session keys and authenticate
+    traffic inside attested S-NIC tunnels. *)
+
+(** [mac ~key msg] is the 32-byte HMAC-SHA256 tag. *)
+val mac : key:string -> string -> string
+
+(** [derive ~secret ~label] expands a shared secret into a 32-byte key
+    bound to [label] (a one-step HKDF-like expand). *)
+val derive : secret:string -> label:string -> string

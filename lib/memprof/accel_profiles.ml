@@ -1,0 +1,36 @@
+type t = { name : string; buffers : (string * int) list }
+
+let kb = 1024
+let mb = 1024 * 1024
+let mbf = Costmodel.Page_packing.mb
+
+(* Table 7. IQ = instruction queue, PktDB = packet descriptor buffers,
+   PktB = packet buffers, ResB = result buffers, ParaB = parameter
+   buffers, OutB = output buffers, SGP = scatter-gather-pointer buffers,
+   Graph = DPI state machine, Dict = ZIP dictionary. *)
+let dpi =
+  {
+    name = "DPI";
+    buffers =
+      [ ("IQ", 256 * kb); ("PktDB", 128 * kb); ("PktB", 2 * mb); ("ResB", 2 * mb); ("ParaB", 256 * kb);
+        ("Graph", mbf 97.28) ];
+  }
+
+let zip =
+  {
+    name = "ZIP";
+    buffers =
+      [ ("IQ", 64 * kb); ("PktDB", 128 * kb); ("PktB", 2 * mb); ("ResB", 24 * kb); ("OutB", 2 * mb);
+        ("SGP", 128 * mb); ("Dict", 32 * kb) ];
+  }
+
+let raid =
+  { name = "RAID"; buffers = [ ("IQ", 4 * mb); ("PktDB", 128 * kb); ("PktB", 2 * mb); ("OutB", 2 * mb) ] }
+
+let all = [ dpi; zip; raid ]
+
+let total_bytes t = List.fold_left (fun acc (_, b) -> acc + b) 0 t.buffers
+let total_mb t = float_of_int (total_bytes t) /. (1024. *. 1024.)
+
+let tlb_entries t =
+  Costmodel.Page_packing.entries ~page_sizes:Costmodel.Page_packing.equal_2mb (List.map snd t.buffers)

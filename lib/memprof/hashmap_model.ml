@@ -1,0 +1,16 @@
+let slots n =
+  if n < 0 then invalid_arg "Hashmap_model.slots"
+  else if n = 0 then 0
+  else begin
+    (* Smallest power of two whose 7/8 exceeds n. *)
+    let rec go s = if s * 7 / 8 >= n then s else go (s * 2) in
+    go 8
+  end
+
+let bytes ~entry_bytes n = slots n * (entry_bytes + 1)
+
+let resize_peak_bytes ~entry_bytes n =
+  let s = slots n in
+  (s + (s / 2)) * (entry_bytes + 1)
+
+let is_resize_point ~prev ~now = now > prev && slots prev <> slots now

@@ -1,0 +1,22 @@
+(** SwissTable (Rust std HashMap) capacity and allocation model.
+
+    The Rust NFs' dominant heap consumer is a flow-keyed HashMap. Its
+    allocation behaviour explains both the Figure 7 spikes and the
+    Table 8 utilization gaps: slots double when the 7/8 load factor is
+    exceeded, and during a resize the old and new tables coexist. *)
+
+(** [slots n] — power-of-two slot count holding [n] items at load <= 7/8
+    (minimum 8 slots for n > 0; 0 for an empty map). *)
+val slots : int -> int
+
+(** [bytes ~entry_bytes n] — steady-state allocation for [n] items:
+    slots * (entry + 1 control byte). *)
+val bytes : entry_bytes:int -> int -> int
+
+(** [resize_peak_bytes ~entry_bytes n] — worst transient while growing to
+    hold [n] items: the new table plus the old (half-size) table. *)
+val resize_peak_bytes : entry_bytes:int -> int -> int
+
+(** [is_resize_point ~prev ~now] — does growing from [prev] to [now]
+    items cross a doubling boundary? *)
+val is_resize_point : prev:int -> now:int -> bool

@@ -1,0 +1,20 @@
+(* Rates recovered from Appendix C: LB's 13.80 MB digests in 29.62 ms and
+   Mon's 360.54 MB in 763.52 ms (~470 MB/s); scrubbing 360.54 MB takes
+   54.23 ms (~6.6 GB/s); fixed phases are reported directly. *)
+let sha_mb_per_s = 470.
+let scrub_gb_per_s = 6.6
+let tlb_setup_ms = 0.0196
+let denylist_ms = 0.0044
+let allowlist_ms = 0.0038
+let attest_ms = 5.596 +. 0.004
+
+type launch = { tlb_setup_ms : float; denylist_ms : float; sha_ms : float; total_ms : float }
+type destroy = { allowlist_ms : float; scrub_ms : float; total_ms : float }
+
+let launch p =
+  let sha_ms = Profiles.total_mb p /. sha_mb_per_s *. 1000. in
+  { tlb_setup_ms; denylist_ms; sha_ms; total_ms = tlb_setup_ms +. denylist_ms +. sha_ms }
+
+let destroy p =
+  let scrub_ms = Profiles.total_mb p /. (scrub_gb_per_s *. 1024.) *. 1000. in
+  { allowlist_ms; scrub_ms; total_ms = allowlist_ms +. scrub_ms }

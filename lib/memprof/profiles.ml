@@ -1,0 +1,26 @@
+type t = { name : string; text_mb : float; data_mb : float; code_mb : float; heap_stack_mb : float }
+
+(* Table 6, columns 2-5. *)
+let nfs =
+  [
+    { name = "FW"; text_mb = 0.87; data_mb = 0.08; code_mb = 2.50; heap_stack_mb = 13.75 };
+    { name = "DPI"; text_mb = 1.34; data_mb = 0.56; code_mb = 2.59; heap_stack_mb = 46.65 };
+    { name = "NAT"; text_mb = 0.86; data_mb = 0.05; code_mb = 2.49; heap_stack_mb = 40.48 };
+    { name = "LB"; text_mb = 0.86; data_mb = 0.05; code_mb = 2.49; heap_stack_mb = 10.40 };
+    { name = "LPM"; text_mb = 0.86; data_mb = 0.06; code_mb = 2.51; heap_stack_mb = 64.90 };
+    { name = "Mon"; text_mb = 0.85; data_mb = 0.05; code_mb = 2.48; heap_stack_mb = 357.15 };
+  ]
+
+let find name =
+  match List.find_opt (fun p -> String.equal p.name name) nfs with
+  | Some p -> p
+  | None -> invalid_arg ("Memprof.Profiles.find: unknown NF " ^ name)
+
+let total_mb p = p.text_mb +. p.data_mb +. p.code_mb +. p.heap_stack_mb
+
+let regions p =
+  List.map Costmodel.Page_packing.mb [ p.text_mb; p.data_mb; p.code_mb; p.heap_stack_mb ]
+
+let tlb_entries p ~page_sizes = Costmodel.Page_packing.entries ~page_sizes (regions p)
+
+let max_entries ~page_sizes = List.fold_left (fun acc p -> max acc (tlb_entries p ~page_sizes)) 0 nfs

@@ -1,0 +1,19 @@
+let ones_sum ?(init = 0) b ~pos ~len =
+  let sum = ref init in
+  let i = ref pos in
+  let stop = pos + len in
+  while !i < stop - 1 do
+    sum := !sum + (Char.code (Bytes.get b !i) lsl 8) + Char.code (Bytes.get b (!i + 1));
+    i := !i + 2
+  done;
+  if len land 1 = 1 then sum := !sum + (Char.code (Bytes.get b (stop - 1)) lsl 8);
+  !sum
+
+let finish sum =
+  let s = ref sum in
+  while !s lsr 16 <> 0 do
+    s := (!s land 0xffff) + (!s lsr 16)
+  done;
+  lnot !s land 0xffff
+
+let checksum b ~pos ~len = finish (ones_sum b ~pos ~len)

@@ -1,0 +1,12 @@
+(** RFC 1071 Internet checksum, used by IPv4/TCP/UDP serialization. *)
+
+(** [ones_sum ?init b ~pos ~len] accumulates the 16-bit one's-complement
+    sum (not yet complemented). *)
+val ones_sum : ?init:int -> Bytes.t -> pos:int -> len:int -> int
+
+(** [finish sum] folds carries and complements, yielding the 16-bit
+    checksum field value. *)
+val finish : int -> int
+
+(** [checksum b ~pos ~len] is [finish (ones_sum b ~pos ~len)]. *)
+val checksum : Bytes.t -> pos:int -> len:int -> int

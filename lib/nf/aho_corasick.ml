@@ -1,0 +1,140 @@
+(* Goto transitions live in one global hash table keyed by
+   (state << 8) | byte, which keeps per-state memory proportional to the
+   state's real out-degree (the dense 256-way array per state that a
+   textbook build uses would need gigabytes at Snort-scale pattern
+   counts). Failure links and outputs are plain arrays. *)
+
+type t = {
+  goto_tbl : (int, int) Hashtbl.t;
+  fail : int array;
+  (* Pattern ids ending at each state; most states have none, encoded as
+     [||]. The "output link" chain is pre-flattened at build time. *)
+  out : int array array;
+  states : int;
+  patterns : int;
+  transitions : int;
+  (* Dense 256-way next rows for states [0, Array.length dense): the
+     compiled-DFA fast path. Empty unless [compile] was called. *)
+  dense : int array array;
+}
+
+let key state byte = (state lsl 8) lor byte
+
+let build patterns =
+  List.iter (fun p -> if p = "" then invalid_arg "Aho_corasick.build: empty pattern") patterns;
+  let goto_tbl = Hashtbl.create 4096 in
+  let out_raw = Hashtbl.create 64 in
+  let next_state = ref 1 in
+  (* Phase 1: trie of patterns. *)
+  List.iteri
+    (fun pat_id p ->
+      let state = ref 0 in
+      String.iter
+        (fun c ->
+          let b = Char.code c in
+          match Hashtbl.find_opt goto_tbl (key !state b) with
+          | Some s -> state := s
+          | None ->
+            let s = !next_state in
+            incr next_state;
+            Hashtbl.add goto_tbl (key !state b) s;
+            state := s)
+        p;
+      Hashtbl.replace out_raw !state (pat_id :: (Option.value ~default:[] (Hashtbl.find_opt out_raw !state))))
+    patterns;
+  let states = !next_state in
+  let fail = Array.make states 0 in
+  let out_lists = Array.make states [] in
+  Hashtbl.iter (fun s ids -> out_lists.(s) <- ids) out_raw;
+  (* Phase 2: BFS failure links; flatten output chains as we go. Per-state
+     outgoing (byte, next) lists are re-derived from the global table. *)
+  let q = Queue.create () in
+  let children = Array.make states [] in
+  Hashtbl.iter
+    (fun k s ->
+      let parent = k lsr 8 and byte = k land 0xff in
+      children.(parent) <- (byte, s) :: children.(parent))
+    goto_tbl;
+  List.iter (fun (_, s) -> Queue.add s q) children.(0);
+  let rec goto_or_fail state b =
+    match Hashtbl.find_opt goto_tbl (key state b) with
+    | Some s -> s
+    | None -> if state = 0 then 0 else goto_or_fail fail.(state) b
+  in
+  while not (Queue.is_empty q) do
+    let r = Queue.pop q in
+    List.iter
+      (fun (b, s) ->
+        fail.(s) <- goto_or_fail fail.(r) b;
+        out_lists.(s) <- out_lists.(s) @ out_lists.(fail.(s));
+        Queue.add s q)
+      children.(r)
+  done;
+  {
+    goto_tbl;
+    fail;
+    out = Array.map Array.of_list out_lists;
+    states;
+    patterns = List.length patterns;
+    transitions = Hashtbl.length goto_tbl;
+    dense = [||];
+  }
+
+let pattern_count t = t.patterns
+let state_count t = t.states
+let transition_count t = t.transitions
+
+let step_sparse t state b =
+  let rec go state =
+    match Hashtbl.find_opt t.goto_tbl (key state b) with
+    | Some s -> s
+    | None -> if state = 0 then 0 else go t.fail.(state)
+  in
+  go state
+
+let step t state b =
+  if state < Array.length t.dense then Array.unsafe_get (Array.unsafe_get t.dense state) b
+  else step_sparse t state b
+
+(* Dense rows must be built in increasing state id so a row can consult
+   already-built rows through [step]; failure targets always have smaller
+   ids than their states (BFS property), so building in id order while
+   resolving through [step_sparse] is always sound. *)
+let compile ?(dense_states = 4096) t =
+  let k = min dense_states t.states in
+  let dense = Array.init k (fun s -> Array.init 256 (fun b -> step_sparse t s b)) in
+  { t with dense }
+
+let dense_state_count t = Array.length t.dense
+
+let iter_matches t text f =
+  let state = ref 0 in
+  String.iteri
+    (fun i c ->
+      state := step t !state (Char.code c);
+      Array.iter (fun pat -> f ~pattern:pat ~end_pos:i) t.out.(!state))
+    text
+
+let scan ?on_state t text =
+  let state = ref 0 in
+  let count = ref 0 in
+  String.iter
+    (fun c ->
+      state := step t !state (Char.code c);
+      (match on_state with Some f -> f !state | None -> ());
+      count := !count + Array.length t.out.(!state))
+    text;
+  !count
+
+exception Found of int
+
+let first_match t text =
+  let state = ref 0 in
+  try
+    String.iter
+      (fun c ->
+        state := step t !state (Char.code c);
+        if Array.length t.out.(!state) > 0 then raise (Found t.out.(!state).(0)))
+      text;
+    None
+  with Found p -> Some p

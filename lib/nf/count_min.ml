@@ -1,0 +1,29 @@
+type t = { width : int; depth : int; rows : int array array; mutable n : int }
+
+let create ~width ~depth =
+  if width <= 0 || depth <= 0 then invalid_arg "Count_min.create: width and depth must be positive";
+  { width; depth; rows = Array.init depth (fun _ -> Array.make width 0); n = 0 }
+
+(* Row-specific hashes derived from the flow hash by remixing with odd
+   row constants. *)
+let index t row flow =
+  let h = Net.Five_tuple.hash flow in
+  let salted = (h lxor (0x5851F42D lsl row)) * ((2 * row) + 0x27D4EB2F) in
+  (salted lsr 5) land max_int mod t.width
+
+let observe t flow =
+  t.n <- t.n + 1;
+  for r = 0 to t.depth - 1 do
+    let i = index t r flow in
+    t.rows.(r).(i) <- t.rows.(r).(i) + 1
+  done
+
+let estimate t flow =
+  let est = ref max_int in
+  for r = 0 to t.depth - 1 do
+    est := min !est t.rows.(r).(index t r flow)
+  done;
+  if !est = max_int then 0 else !est
+
+let observations t = t.n
+let memory_bytes t = t.width * t.depth * 8

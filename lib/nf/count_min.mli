@@ -1,0 +1,22 @@
+(** Count-min sketch: a bounded-memory alternative to the Monitor NF's
+    exact hash map (in the spirit of the UnivMon line of work the paper
+    cites for its Monitor methodology). Memory is fixed at creation, so
+    an S-NIC preallocation is never outgrown — the trade-off for the
+    fixed-reservation model of §4.8. *)
+
+type t
+
+(** [create ~width ~depth] — [depth] rows of [width] counters.
+    Estimation error is at most [2N/width] with probability
+    [1 - (1/2)^depth] over [N] observations. *)
+val create : width:int -> depth:int -> t
+
+val observe : t -> Net.Five_tuple.t -> unit
+
+(** Never under-estimates. *)
+val estimate : t -> Net.Five_tuple.t -> int
+
+val observations : t -> int
+
+(** Total counter memory in bytes. *)
+val memory_bytes : t -> int

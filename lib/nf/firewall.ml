@@ -1,0 +1,62 @@
+type action = Allow | Deny
+
+type rule = {
+  src_prefix : (Net.Ipv4_addr.t * int) option;
+  dst_prefix : (Net.Ipv4_addr.t * int) option;
+  proto : int option;
+  src_ports : (int * int) option;
+  dst_ports : (int * int) option;
+  action : action;
+}
+
+module Flow_lru = Lru.Make (Net.Five_tuple.Table)
+
+type t = {
+  rules : rule array;
+  default : action;
+  cache : action Flow_lru.t;
+  probe : Types.probe option;
+}
+
+let rule_any action = { src_prefix = None; dst_prefix = None; proto = None; src_ports = None; dst_ports = None; action }
+
+let create ?(cache_capacity = 200_000) ?probe ~default rules =
+  { rules = Array.of_list rules; default; cache = Flow_lru.create ~capacity:cache_capacity; probe }
+
+let in_range (lo, hi) v = v >= lo && v <= hi
+
+let rule_matches r (f : Net.Five_tuple.t) =
+  (match r.src_prefix with None -> true | Some (p, l) -> Net.Ipv4_addr.in_prefix f.src_ip ~prefix:p ~len:l)
+  && (match r.dst_prefix with None -> true | Some (p, l) -> Net.Ipv4_addr.in_prefix f.dst_ip ~prefix:p ~len:l)
+  && (match r.proto with None -> true | Some p -> p = f.proto)
+  && (match r.src_ports with None -> true | Some range -> in_range range f.src_port)
+  && match r.dst_ports with None -> true | Some range -> in_range range f.dst_port
+
+let scan t flow =
+  let n = Array.length t.rules in
+  let rec go i = if i >= n then t.default else if rule_matches t.rules.(i) flow then t.rules.(i).action else go (i + 1) in
+  go 0
+
+let classify t pkt =
+  let flow = Net.Packet.flow pkt in
+  (match t.probe with
+  | Some probe -> probe ~region:0 ~index:(Net.Five_tuple.hash flow mod Flow_lru.capacity t.cache)
+  | None -> ());
+  match Flow_lru.find t.cache flow with
+  | Some action -> action
+  | None ->
+    let action = scan t flow in
+    Flow_lru.add t.cache flow action;
+    action
+
+let nf t =
+  {
+    Types.name = "FW";
+    process =
+      (fun pkt -> match classify t pkt with Allow -> Types.Forward pkt | Deny -> Types.Drop "firewall rule");
+  }
+
+let rule_count t = Array.length t.rules
+let cached_flows t = Flow_lru.length t.cache
+let cache_capacity t = Flow_lru.capacity t.cache
+let cache_evictions t = Flow_lru.evictions t.cache

@@ -1,0 +1,133 @@
+(* tbl24 entry encoding (16 bits): 0 = empty; bit 15 set = the low 15 bits
+   index a tbl8 block; otherwise the low 15 bits are (next_hop + 1).
+   Parallel depth arrays record the prefix length that wrote each entry so
+   inserts in any order preserve longest-prefix-wins. *)
+
+type next_hop = int
+
+type t = {
+  tbl24 : Bytes.t; (* 2 bytes per entry, 2^24 entries *)
+  depth24 : Bytes.t; (* 1 byte per entry *)
+  mutable tbl8 : Bytes.t array; (* 256 entries x 2 bytes each *)
+  mutable depth8 : Bytes.t array;
+  mutable blocks : int;
+  mutable routes : int;
+  probe : Types.probe option;
+}
+
+let tbl24_entries = 1 lsl 24
+let block_mark = 0x8000
+
+let create ?probe () =
+  {
+    tbl24 = Bytes.make (2 * tbl24_entries) '\000';
+    depth24 = Bytes.make tbl24_entries '\000';
+    tbl8 = [||];
+    depth8 = [||];
+    blocks = 0;
+    routes = 0;
+    probe;
+  }
+
+let get16 b i = (Char.code (Bytes.get b (2 * i)) lsl 8) lor Char.code (Bytes.get b ((2 * i) + 1))
+
+let set16 b i v =
+  Bytes.set b (2 * i) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b ((2 * i) + 1) (Char.chr (v land 0xff))
+
+let alloc_block t =
+  let block = Bytes.make (2 * 256) '\000' in
+  let depth = Bytes.make 256 '\000' in
+  t.tbl8 <- Array.append t.tbl8 [| block |];
+  t.depth8 <- Array.append t.depth8 [| depth |];
+  t.blocks <- t.blocks + 1;
+  t.blocks - 1
+
+let insert t ~prefix ~len next_hop =
+  if len < 0 || len > 32 then invalid_arg "Lpm.insert: bad prefix length";
+  if next_hop < 0 || next_hop > 0x7fff then invalid_arg "Lpm.insert: next hop out of range";
+  t.routes <- t.routes + 1;
+  let encoded = next_hop + 1 in
+  if len <= 24 then begin
+    (* Fill every tbl24 slot covered by the prefix that is not already
+       owned by a longer prefix; descend into existing tbl8 blocks. *)
+    let base = (prefix lsr 8) land (lnot ((1 lsl (24 - len)) - 1) land 0xffffff) in
+    let count = 1 lsl (24 - len) in
+    for i = base to base + count - 1 do
+      let cur = get16 t.tbl24 i in
+      if cur land block_mark <> 0 then begin
+        (* Propagate into the block's shallower entries. *)
+        let b = cur land 0x7fff in
+        let blk = t.tbl8.(b) and dep = t.depth8.(b) in
+        for j = 0 to 255 do
+          if Char.code (Bytes.get dep j) <= len then begin
+            set16 blk j encoded;
+            Bytes.set dep j (Char.chr len)
+          end
+        done
+      end
+      else if Char.code (Bytes.get t.depth24 i) <= len then begin
+        set16 t.tbl24 i encoded;
+        Bytes.set t.depth24 i (Char.chr len)
+      end
+    done
+  end
+  else begin
+    let idx24 = prefix lsr 8 in
+    let cur = get16 t.tbl24 idx24 in
+    let block_id =
+      if cur land block_mark <> 0 then cur land 0x7fff
+      else begin
+        let b = alloc_block t in
+        (* Seed the fresh block with the previous shallow route. *)
+        if cur <> 0 then begin
+          let blk = t.tbl8.(b) and dep = t.depth8.(b) in
+          let d = Char.code (Bytes.get t.depth24 idx24) in
+          for j = 0 to 255 do
+            set16 blk j cur;
+            Bytes.set dep j (Char.chr d)
+          done
+        end;
+        set16 t.tbl24 idx24 (block_mark lor b);
+        b
+      end
+    in
+    let blk = t.tbl8.(block_id) and dep = t.depth8.(block_id) in
+    let low = prefix land 0xff in
+    let base = low land (lnot ((1 lsl (32 - len)) - 1) land 0xff) in
+    let count = 1 lsl (32 - len) in
+    for j = base to base + count - 1 do
+      if Char.code (Bytes.get dep j) <= len then begin
+        set16 blk j encoded;
+        Bytes.set dep j (Char.chr len)
+      end
+    done
+  end
+
+let lookup t addr =
+  let idx24 = addr lsr 8 in
+  (match t.probe with Some probe -> probe ~region:0 ~index:idx24 | None -> ());
+  let e = get16 t.tbl24 idx24 in
+  let v =
+    if e land block_mark <> 0 then begin
+      let b = e land 0x7fff in
+      (match t.probe with Some probe -> probe ~region:1 ~index:((b lsl 8) lor (addr land 0xff)) | None -> ());
+      get16 t.tbl8.(b) (addr land 0xff)
+    end
+    else e
+  in
+  if v = 0 then None else Some (v - 1)
+
+let nf t =
+  {
+    Types.name = "LPM";
+    process =
+      (fun pkt ->
+        match lookup t pkt.Net.Packet.dst_ip with
+        | Some _ -> Types.Forward pkt
+        | None -> Types.Drop "no route");
+  }
+
+let tbl8_blocks t = t.blocks
+let table_bytes t = Bytes.length t.tbl24 + (t.blocks * 2 * 256)
+let route_count t = t.routes

@@ -1,0 +1,30 @@
+(** Longest-prefix matching with the DIR-24-8 scheme (§5.1, Gupta et al.
+    INFOCOM'98): a 2^24-entry first-level table indexed by the top 24
+    address bits (2 bytes per entry, as in the paper's memory profile),
+    overflowing into 256-entry second-level blocks for longer prefixes. *)
+
+type t
+
+(** Next-hop identifiers are in [0, 0x7fff]. *)
+type next_hop = int
+
+val create : ?probe:Types.probe -> unit -> t
+
+(** [insert t ~prefix ~len next_hop] adds a route. [len] in [0, 32];
+    next hops above 0x7fff are rejected. Longest prefix wins regardless of
+    insertion order. *)
+val insert : t -> prefix:Net.Ipv4_addr.t -> len:int -> next_hop -> unit
+
+(** [lookup t addr] is the next hop of the longest matching prefix. *)
+val lookup : t -> Net.Ipv4_addr.t -> next_hop option
+
+val nf : t -> Types.t
+
+(** Number of allocated second-level blocks. *)
+val tbl8_blocks : t -> int
+
+(** Lookup-structure bytes (tbl24 + allocated tbl8 blocks), matching the
+    data-plane footprint the paper profiles. *)
+val table_bytes : t -> int
+
+val route_count : t -> int

@@ -1,0 +1,70 @@
+module Make (H : Hashtbl.S) = struct
+  (* Intrusive doubly-linked recency list; the table maps keys to their
+     list nodes. *)
+  type 'a node = {
+    key : H.key;
+    mutable value : 'a;
+    mutable prev : 'a node option;
+    mutable next : 'a node option;
+  }
+
+  type 'a t = {
+    table : 'a node H.t;
+    capacity : int;
+    mutable head : 'a node option; (* most recent *)
+    mutable tail : 'a node option; (* least recent *)
+    mutable evictions : int;
+  }
+
+  let create ~capacity =
+    if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
+    { table = H.create (min capacity 65536); capacity; head = None; tail = None; evictions = 0 }
+
+  let unlink t node =
+    (match node.prev with Some p -> p.next <- node.next | None -> t.head <- node.next);
+    (match node.next with Some n -> n.prev <- node.prev | None -> t.tail <- node.prev);
+    node.prev <- None;
+    node.next <- None
+
+  let push_front t node =
+    node.next <- t.head;
+    node.prev <- None;
+    (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+    t.head <- Some node
+
+  let find t k =
+    match H.find_opt t.table k with
+    | None -> None
+    | Some node ->
+      unlink t node;
+      push_front t node;
+      Some node.value
+
+  let mem t k = H.mem t.table k
+  let length t = H.length t.table
+  let capacity t = t.capacity
+  let evictions t = t.evictions
+
+  let add t k v =
+    match H.find_opt t.table k with
+    | Some node ->
+      node.value <- v;
+      unlink t node;
+      push_front t node
+    | None ->
+      if H.length t.table >= t.capacity then begin
+        match t.tail with
+        | Some lru ->
+          unlink t lru;
+          H.remove t.table lru.key;
+          t.evictions <- t.evictions + 1
+        | None -> ()
+      end;
+      let node = { key = k; value = v; prev = None; next = None } in
+      H.replace t.table k node;
+      push_front t node
+
+  let keys_by_recency t =
+    let rec go acc = function None -> List.rev acc | Some n -> go (n.key :: acc) n.next in
+    go [] t.head
+end

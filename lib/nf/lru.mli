@@ -1,0 +1,25 @@
+(** A generic LRU cache over any [Hashtbl.S], used by the flow caches of
+    the stateful NFs (the paper caps the firewall's flow cache at Open
+    vSwitch's 200,000-entry limit; eviction keeps hot flows fast without
+    unbounded memory — the property the fixed S-NIC reservation needs). *)
+
+module Make (H : Hashtbl.S) : sig
+  type 'a t
+
+  val create : capacity:int -> 'a t
+
+  (** [find t k] returns the value and marks [k] most-recently-used. *)
+  val find : 'a t -> H.key -> 'a option
+
+  (** [add t k v] inserts or updates; evicts the least-recently-used
+      entry when full. *)
+  val add : 'a t -> H.key -> 'a -> unit
+
+  val mem : 'a t -> H.key -> bool
+  val length : 'a t -> int
+  val capacity : 'a t -> int
+  val evictions : 'a t -> int
+
+  (** Keys from most- to least-recently used (test support). *)
+  val keys_by_recency : 'a t -> H.key list
+end

@@ -1,0 +1,96 @@
+type t = {
+  names : string array;
+  table : int array; (* slot -> backend index *)
+  table_size : int;
+  probe : Types.probe option;
+}
+
+(* FNV-1a over the name with a salt, the classic choice for Maglev's
+   (offset, skip) pair. *)
+let hash_name salt name =
+  let h = ref (0x811c9dc5 lxor (salt * 0x01000193)) in
+  String.iter
+    (fun c ->
+      h := (!h lxor Char.code c) * 0x01000193;
+      h := !h land 0x3FFFFFFFFFFFFF)
+    name;
+  !h
+
+let is_prime n =
+  if n < 2 then false
+  else begin
+    let rec go d = d * d > n || (n mod d <> 0 && go (d + 1)) in
+    go 2
+  end
+
+let populate ~table_size names =
+  let n = Array.length names in
+  let offsets = Array.map (fun name -> hash_name 1 name mod table_size) names in
+  let skips = Array.map (fun name -> (hash_name 2 name mod (table_size - 1)) + 1) names in
+  let next = Array.make n 0 in
+  let table = Array.make table_size (-1) in
+  let filled = ref 0 in
+  while !filled < table_size do
+    for i = 0 to n - 1 do
+      if !filled < table_size then begin
+        (* Find backend i's next preferred slot that is still free. *)
+        let rec claim () =
+          let slot = (offsets.(i) + (next.(i) * skips.(i))) mod table_size in
+          next.(i) <- next.(i) + 1;
+          if table.(slot) = -1 then begin
+            table.(slot) <- i;
+            incr filled
+          end
+          else claim ()
+        in
+        claim ()
+      end
+    done
+  done;
+  table
+
+let create ?(table_size = 65537) ?probe names =
+  if names = [] then invalid_arg "Maglev.create: no backends";
+  if not (is_prime table_size) then invalid_arg "Maglev.create: table size must be prime";
+  let sorted = List.sort_uniq String.compare names in
+  if List.length sorted <> List.length names then invalid_arg "Maglev.create: duplicate backends";
+  let names = Array.of_list names in
+  { names; table = populate ~table_size names; table_size; probe }
+
+let backend_for t flow =
+  let slot = Net.Five_tuple.hash flow mod t.table_size in
+  (match t.probe with Some probe -> probe ~region:0 ~index:slot | None -> ());
+  t.names.(t.table.(slot))
+
+let nf t =
+  {
+    Types.name = "LB";
+    process =
+      (fun pkt ->
+        (* A real Maglev would tunnel to the backend; we only need the
+           lookup cost and leave the packet intact. *)
+        ignore (backend_for t (Net.Packet.flow pkt));
+        Types.Forward pkt);
+  }
+
+let backends t = Array.to_list t.names
+let table_size t = t.table_size
+
+let add t backend = create ~table_size:t.table_size (backend :: Array.to_list t.names)
+
+let remove t backend =
+  let rest = List.filter (fun n -> n <> backend) (Array.to_list t.names) in
+  create ~table_size:t.table_size rest
+
+let load t =
+  let counts = Array.make (Array.length t.names) 0 in
+  Array.iter (fun b -> counts.(b) <- counts.(b) + 1) t.table;
+  Array.to_list (Array.mapi (fun i c -> (t.names.(i), c)) counts)
+
+let disruption a b =
+  if a.table_size <> b.table_size then invalid_arg "Maglev.disruption: different table sizes";
+  let moved = ref 0 in
+  for i = 0 to a.table_size - 1 do
+    if a.names.(a.table.(i)) <> b.names.(b.table.(i)) then incr moved
+  done;
+  float_of_int !moved /. float_of_int a.table_size

@@ -1,0 +1,33 @@
+(** Maglev consistent-hashing load balancer (§5.1, Eisenbud et al. NSDI'16).
+
+    Each backend derives a permutation of the lookup table from two hashes
+    of its name; backends take turns claiming their next preferred slot
+    until the table is full. The table is queried with the flow hash, so
+    a flow consistently reaches one backend, and backend churn moves few
+    flows. *)
+
+type t
+
+(** [create ?table_size ?probe backends] builds the lookup table.
+    [table_size] must be a prime (default 65537); [backends] must be
+    non-empty and distinct. *)
+val create : ?table_size:int -> ?probe:Types.probe -> string list -> t
+
+val nf : t -> Types.t
+
+(** [backend_for t flow] is the chosen backend's name. *)
+val backend_for : t -> Net.Five_tuple.t -> string
+
+(** [add t backend] / [remove t backend] rebuild the table. *)
+val add : t -> string -> t
+val remove : t -> string -> t
+
+val backends : t -> string list
+val table_size : t -> int
+
+(** Slot counts per backend, for balance checks. *)
+val load : t -> (string * int) list
+
+(** Fraction of table slots whose backend differs between [a] and [b]
+    (disruption metric). *)
+val disruption : t -> t -> float

@@ -1,0 +1,39 @@
+type t = {
+  counts : int ref Net.Five_tuple.Table.t;
+  mutable packets : int;
+  probe : Types.probe option;
+}
+
+let create ?probe () = { counts = Net.Five_tuple.Table.create 1024; packets = 0; probe }
+
+let observe t pkt =
+  let flow = Net.Packet.flow pkt in
+  t.packets <- t.packets + 1;
+  (match t.probe with
+  | Some probe ->
+    (* Index into the current table size, mirroring where the bucket
+       actually lives as the table grows. *)
+    let cap = max 1024 (Net.Five_tuple.Table.length t.counts) in
+    probe ~region:0 ~index:(Net.Five_tuple.hash flow mod cap)
+  | None -> ());
+  match Net.Five_tuple.Table.find_opt t.counts flow with
+  | Some r -> incr r
+  | None -> Net.Five_tuple.Table.add t.counts flow (ref 1)
+
+let nf t =
+  {
+    Types.name = "Mon";
+    process =
+      (fun pkt ->
+        observe t pkt;
+        Types.Forward pkt);
+  }
+
+let flow_count t = Net.Five_tuple.Table.length t.counts
+let packets_seen t = t.packets
+let count_of t flow = match Net.Five_tuple.Table.find_opt t.counts flow with Some r -> !r | None -> 0
+
+let top t k =
+  let all = Net.Five_tuple.Table.fold (fun flow r acc -> (flow, !r) :: acc) t.counts [] in
+  let sorted = List.sort (fun (_, a) (_, b) -> Stdlib.compare b a) all in
+  List.filteri (fun i _ -> i < k) sorted

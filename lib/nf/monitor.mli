@@ -1,0 +1,19 @@
+(** Flow monitor (§5.1): counts packets per 5-tuple flow in a hash map.
+    Unlike the other NFs its memory grows with the number of distinct
+    flows, which is why it dominates the paper's Table 6 (361 MB) and
+    Figure 7. *)
+
+type t
+
+val create : ?probe:Types.probe -> unit -> t
+val nf : t -> Types.t
+
+(** [observe t pkt] increments the packet's flow counter. *)
+val observe : t -> Net.Packet.t -> unit
+
+val flow_count : t -> int
+val packets_seen : t -> int
+val count_of : t -> Net.Five_tuple.t -> int
+
+(** Top [k] flows by packet count, descending. *)
+val top : t -> int -> (Net.Five_tuple.t * int) list

@@ -1,0 +1,51 @@
+type spec = {
+  short : string;
+  description : string;
+  build : ?probe:Types.probe -> scale:float -> unit -> Types.t;
+}
+
+let scaled base scale = max 1 (int_of_float (float_of_int base *. scale))
+let fw_rules ~scale = scaled 643 scale
+let dpi_patterns ~scale = scaled 33_471 scale
+let lpm_routes ~scale = scaled 16_000 scale
+
+let build_fw ?probe ~scale () =
+  let rng = Trace.Rng.create ~seed:0xF1 in
+  let rules = Rulegen.firewall_rules rng ~n:(fw_rules ~scale) in
+  Firewall.nf (Firewall.create ?probe ~default:Firewall.Allow rules)
+
+let build_dpi ?probe ~scale () =
+  let rng = Trace.Rng.create ~seed:0xD1 in
+  Dpi.nf (Dpi.create ?probe (Rulegen.dpi_patterns rng ~n:(dpi_patterns ~scale)))
+
+let build_nat ?probe ~scale:_ () =
+  Nat.nf
+    (Nat.create ?probe
+       ~internal_prefix:(Net.Ipv4_addr.of_string "10.0.0.0", 8)
+       ~external_ip:(Net.Ipv4_addr.of_string "203.0.113.1")
+       ())
+
+let build_lb ?probe ~scale:_ () = Maglev.nf (Maglev.create ?probe (Rulegen.backends ~n:16))
+
+let build_lpm ?probe ~scale () =
+  let rng = Trace.Rng.create ~seed:0x17 in
+  let t = Lpm.create ?probe () in
+  List.iter (fun (p, l, nh) -> Lpm.insert t ~prefix:p ~len:l nh) (Rulegen.routes rng ~n:(lpm_routes ~scale));
+  Lpm.nf t
+
+let build_mon ?probe ~scale:_ () = Monitor.nf (Monitor.create ?probe ())
+
+let all =
+  [
+    { short = "FW"; description = "stateful firewall, Emerging-Threats-like rules + flow cache"; build = build_fw };
+    { short = "DPI"; description = "Aho-Corasick pattern matching over payloads"; build = build_dpi };
+    { short = "NAT"; description = "MazuNAT-derived address translator"; build = build_nat };
+    { short = "LB"; description = "Maglev consistent-hashing load balancer"; build = build_lb };
+    { short = "LPM"; description = "DIR-24-8 longest prefix match routing"; build = build_lpm };
+    { short = "Mon"; description = "per-flow packet counter"; build = build_mon };
+  ]
+
+let find short =
+  match List.find_opt (fun s -> String.equal s.short short) all with
+  | Some s -> s
+  | None -> invalid_arg ("Nf.Registry.find: unknown NF " ^ short)

@@ -1,0 +1,22 @@
+(** Construction of the paper's six evaluation NFs with their §5.1
+    parameters (scaled variants available for fast tests), addressable by
+    the short names used throughout the evaluation. *)
+
+type spec = {
+  short : string; (* "FW", "DPI", "NAT", "LB", "LPM", "Mon" *)
+  description : string;
+  build : ?probe:Types.probe -> scale:float -> unit -> Types.t;
+}
+
+(** The six NFs in the paper's order: FW, DPI, NAT, LB, LPM, Mon. *)
+val all : spec list
+
+val find : string -> spec
+
+(** Paper-fidelity parameter set: FW 643 rules, DPI 33,471 patterns,
+    LPM 16,000 routes. [scale] multiplies rule/pattern/route counts
+    (1.0 = paper). *)
+val fw_rules : scale:float -> int
+
+val dpi_patterns : scale:float -> int
+val lpm_routes : scale:float -> int

@@ -1,0 +1,50 @@
+let firewall_rules rng ~n =
+  List.init n (fun _ ->
+      let len = Trace.Rng.pick rng [| 8; 16; 24; 24; 32 |] in
+      let src =
+        Net.Ipv4_addr.of_octets (Trace.Rng.int rng 223 + 1) (Trace.Rng.int rng 256) (Trace.Rng.int rng 256)
+          (Trace.Rng.int rng 256)
+      in
+      let dst_ports =
+        if Trace.Rng.bool rng then Some (Trace.Rng.pick rng [| (22, 22); (23, 23); (445, 445); (3389, 3389); (0, 1023) |])
+        else None
+      in
+      {
+        Firewall.src_prefix = Some (src, len);
+        dst_prefix = None;
+        proto = (if Trace.Rng.int rng 100 < 70 then Some 6 else None);
+        src_ports = None;
+        dst_ports;
+        action = Firewall.Deny;
+      })
+
+let dpi_patterns rng ~n =
+  let seen = Hashtbl.create (2 * n) in
+  let rec fresh () =
+    let len = 4 + Trace.Rng.int rng 15 in
+    (* Printable-ish bytes with occasional binary, like Snort content
+       strings. *)
+    let p =
+      String.init len (fun _ ->
+          if Trace.Rng.int rng 10 = 0 then Char.chr (Trace.Rng.int rng 256)
+          else Char.chr (32 + Trace.Rng.int rng 95))
+    in
+    if Hashtbl.mem seen p then fresh ()
+    else begin
+      Hashtbl.add seen p ();
+      p
+    end
+  in
+  List.init n (fun _ -> fresh ())
+
+let routes rng ~n =
+  List.init n (fun _ ->
+      let len = Trace.Rng.pick rng [| 8; 12; 16; 16; 20; 24; 24; 24; 28; 32 |] in
+      let prefix =
+        Net.Ipv4_addr.of_octets (Trace.Rng.int rng 223 + 1) (Trace.Rng.int rng 256) (Trace.Rng.int rng 256)
+          (Trace.Rng.int rng 256)
+      in
+      let mask = if len = 0 then 0 else 0xffffffff lxor ((1 lsl (32 - len)) - 1) in
+      (prefix land mask, len, Trace.Rng.int rng 0x7fff))
+
+let backends ~n = List.init n (fun i -> Printf.sprintf "backend-%03d" i)

@@ -1,0 +1,21 @@
+(** Synthetic rule/pattern/route generators standing in for the
+    proprietary or downloadable rulesets the paper uses (Emerging Threats
+    firewall rules, Snort-style DPI patterns, random LPM routes). All are
+    seeded and deterministic. *)
+
+(** [firewall_rules rng ~n] draws [n] deny rules shaped like the Emerging
+    Threats firewall set (CIDR sources, well-known destination ports). The
+    paper uses n = 643 (as in SafeBricks). *)
+val firewall_rules : Trace.Rng.t -> n:int -> Firewall.rule list
+
+(** [dpi_patterns rng ~n] draws [n] distinct Snort-content-like byte
+    patterns (4–18 bytes). The paper uses n = 33,471. *)
+val dpi_patterns : Trace.Rng.t -> n:int -> string list
+
+(** [routes rng ~n] draws [n] random prefixes (lengths 8–32, biased toward
+    /16–/24 as in real tables) with next hops. The paper uses n = 16,000
+    (as in NetBricks). *)
+val routes : Trace.Rng.t -> n:int -> (Net.Ipv4_addr.t * int * int) list
+
+(** Backend pool names for the Maglev LB. *)
+val backends : n:int -> string list

@@ -1,0 +1,34 @@
+type t = {
+  vni : Net.Vxlan.vni;
+  local_vtep : Net.Ipv4_addr.t;
+  remote_vtep : Net.Ipv4_addr.t;
+  inner : Types.t;
+  mutable decapsulated : int;
+  mutable rejected : int;
+}
+
+let create ~vni ~local_vtep ~remote_vtep ~inner () =
+  { vni; local_vtep; remote_vtep; inner; decapsulated = 0; rejected = 0 }
+
+let process t pkt =
+  match Net.Vxlan.decapsulate pkt with
+  | Error e ->
+    t.rejected <- t.rejected + 1;
+    Types.Drop ("not VXLAN: " ^ e)
+  | Ok { vni; inner = inner_pkt; _ } ->
+    if vni <> t.vni then begin
+      t.rejected <- t.rejected + 1;
+      Types.Drop (Printf.sprintf "foreign VNI %d" vni)
+    end
+    else begin
+      t.decapsulated <- t.decapsulated + 1;
+      match t.inner.Types.process inner_pkt with
+      | Types.Drop _ as d -> d
+      | Types.Forward out ->
+        Types.Forward
+          (Net.Vxlan.encapsulate ~vni:t.vni ~outer_src_ip:t.local_vtep ~outer_dst_ip:t.remote_vtep out)
+    end
+
+let nf t = { Types.name = "VXLAN-GW"; process = process t }
+let packets_decapsulated t = t.decapsulated
+let packets_rejected t = t.rejected

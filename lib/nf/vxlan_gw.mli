@@ -1,0 +1,20 @@
+(** VXLAN gateway NF: terminates a tenant's virtual L2 segment on the
+    smart NIC (§4.4). Packets arriving on the configured VNI are
+    decapsulated, handed to an inner NF, and the survivors re-encapsulated
+    toward the configured remote VTEP. Traffic on other VNIs (or
+    non-VXLAN traffic) is dropped. *)
+
+type t
+
+val create :
+  vni:Net.Vxlan.vni ->
+  local_vtep:Net.Ipv4_addr.t ->
+  remote_vtep:Net.Ipv4_addr.t ->
+  inner:Types.t ->
+  unit ->
+  t
+
+val nf : t -> Types.t
+
+val packets_decapsulated : t -> int
+val packets_rejected : t -> int

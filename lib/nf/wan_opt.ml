@@ -1,0 +1,58 @@
+type mode = Compress | Decompress
+
+type t = {
+  mode : mode;
+  mutable bytes_in : int;
+  mutable bytes_out : int;
+  mutable passthrough : int;
+}
+
+(* Shim header: 'C' = LZ77 body follows, 'P' = raw body follows. *)
+let flag_compressed = 'C'
+let flag_plain = 'P'
+
+let create ~mode () = { mode; bytes_in = 0; bytes_out = 0; passthrough = 0 }
+
+let compress_payload t payload =
+  let packed = Accelfn.Lz77.compress payload in
+  if String.length packed + 1 < String.length payload then String.make 1 flag_compressed ^ packed
+  else begin
+    t.passthrough <- t.passthrough + 1;
+    String.make 1 flag_plain ^ payload
+  end
+
+let decompress_payload payload =
+  if String.length payload = 0 then Error "missing WAN-optimizer shim header"
+  else begin
+    let body = String.sub payload 1 (String.length payload - 1) in
+    if payload.[0] = flag_plain then Ok body
+    else if payload.[0] = flag_compressed then begin
+      match Accelfn.Lz77.decompress body with
+      | plain -> Ok plain
+      | exception Invalid_argument e -> Error e
+    end
+    else Error "unknown shim flag"
+  end
+
+let process t (pkt : Net.Packet.t) =
+  t.bytes_in <- t.bytes_in + String.length pkt.payload;
+  match t.mode with
+  | Compress ->
+    let payload = compress_payload t pkt.payload in
+    t.bytes_out <- t.bytes_out + String.length payload;
+    Types.Forward { pkt with payload }
+  | Decompress -> begin
+    match decompress_payload pkt.payload with
+    | Ok payload ->
+      t.bytes_out <- t.bytes_out + String.length payload;
+      Types.Forward { pkt with payload }
+    | Error e -> Types.Drop ("WAN optimizer: " ^ e)
+  end
+
+let nf t =
+  { Types.name = (match t.mode with Compress -> "WANopt-c" | Decompress -> "WANopt-d"); process = process t }
+
+let bytes_in t = t.bytes_in
+let bytes_out t = t.bytes_out
+let passthrough t = t.passthrough
+let savings t = if t.bytes_in = 0 then 0. else 1. -. (float_of_int t.bytes_out /. float_of_int t.bytes_in)

@@ -1,0 +1,24 @@
+(** WAN optimizer — one of the complex, stateful NFs the paper's
+    introduction motivates offloading. A pair of optimizers sits on the
+    two ends of an expensive link: the near end compresses payloads
+    (LZ77, the ZIP accelerator's algorithm), the far end restores them.
+    Packets whose payloads do not shrink are passed through unchanged
+    (flagged in a one-byte shim header). *)
+
+type mode = Compress | Decompress
+
+type t
+
+val create : mode:mode -> unit -> t
+val nf : t -> Types.t
+
+(** Cumulative payload bytes in/out (for the savings ratio). *)
+val bytes_in : t -> int
+
+val bytes_out : t -> int
+
+(** [savings t] is [1 - out/in] (0 when nothing was processed). *)
+val savings : t -> float
+
+(** Number of packets passed through uncompressed (incompressible). *)
+val passthrough : t -> int

@@ -1,0 +1,88 @@
+type kind = Dpi | Zip | Raid | Crypto
+
+let kind_name = function Dpi -> "DPI" | Zip -> "ZIP" | Raid -> "RAID" | Crypto -> "Crypto"
+
+(* Calibrated so that a 48-thread DPI engine saturates around 1 Mpps on
+   small frames (producer-bound) and scales with threads on jumbo frames,
+   matching the shape of the paper's Figure 8. *)
+let overhead_cycles = function Dpi -> 2_000 | Zip -> 3_000 | Raid -> 1_500 | Crypto -> 2_500
+
+let cycles_per_byte = function Dpi -> 10.0 | Zip -> 14.0 | Raid -> 4.0 | Crypto -> 8.0
+
+type cluster = { mutable tlb : Tlb.t; mutable owner : int option; thread_free : int array }
+
+type t = { kind : kind; cluster_size : int; clusters : cluster array }
+
+let create ~kind ~threads ~cluster_size =
+  if threads <= 0 || cluster_size <= 0 || threads mod cluster_size <> 0 then
+    invalid_arg "Accel.create: cluster size must divide thread count";
+  {
+    kind;
+    cluster_size;
+    clusters =
+      Array.init (threads / cluster_size) (fun _ ->
+          { tlb = Tlb.create ~capacity:128 (); owner = None; thread_free = Array.make cluster_size 0 });
+  }
+
+let kind t = t.kind
+let threads t = Array.length t.clusters * t.cluster_size
+let cluster_size t = t.cluster_size
+let cluster_count t = Array.length t.clusters
+
+let claim_cluster t ~nf =
+  let rec go i =
+    if i >= Array.length t.clusters then None
+    else if t.clusters.(i).owner = None then begin
+      t.clusters.(i).owner <- Some nf;
+      Some i
+    end
+    else go (i + 1)
+  in
+  go 0
+
+let release_clusters t ~nf =
+  Array.iter
+    (fun c ->
+      if c.owner = Some nf then begin
+        c.owner <- None;
+        (* A fresh, unlocked TLB bank for the next tenant. *)
+        c.tlb <- Tlb.create ~capacity:128 ();
+        Array.fill c.thread_free 0 (Array.length c.thread_free) 0
+      end)
+    t.clusters
+
+let cluster_owner t ~cluster = t.clusters.(cluster).owner
+let free_clusters t = Array.fold_left (fun acc c -> acc + if c.owner = None then 1 else 0) 0 t.clusters
+let cluster_tlb t ~cluster = t.clusters.(cluster).tlb
+
+let service_cycles t ~bytes = overhead_cycles t.kind + int_of_float (cycles_per_byte t.kind *. float_of_int bytes)
+
+let submit_cluster c ~cost ~now =
+  (* Earliest-free thread of the cluster. *)
+  let best = ref 0 in
+  Array.iteri (fun i free -> if free < c.thread_free.(!best) then best := i) c.thread_free;
+  let start = max now c.thread_free.(!best) in
+  c.thread_free.(!best) <- start + cost;
+  start + cost
+
+let submit t ~cluster ~now ~bytes =
+  if cluster < 0 || cluster >= Array.length t.clusters then invalid_arg "Accel.submit: bad cluster";
+  submit_cluster t.clusters.(cluster) ~cost:(service_cycles t ~bytes) ~now
+
+let submit_any t ~now ~bytes =
+  (* Commodity sharing: frontend scheduler picks the globally
+     earliest-free thread. *)
+  let cost = service_cycles t ~bytes in
+  let best_c = ref 0 and best_t = ref 0 in
+  Array.iteri
+    (fun ci c ->
+      Array.iteri
+        (fun ti free -> if free < t.clusters.(!best_c).thread_free.(!best_t) then begin best_c := ci; best_t := ti end)
+        c.thread_free)
+    t.clusters;
+  let c = t.clusters.(!best_c) in
+  let start = max now c.thread_free.(!best_t) in
+  c.thread_free.(!best_t) <- start + cost;
+  start + cost
+
+let reset_timing t = Array.iter (fun c -> Array.fill c.thread_free 0 (Array.length c.thread_free) 0) t.clusters

@@ -1,0 +1,52 @@
+(** Hardware accelerator engines (DPI, ZIP, RAID, crypto).
+
+    An accelerator aggregates hardware threads; S-NIC statically groups
+    threads into clusters and fronts each cluster with a TLB bank so a
+    cluster can be bound to one NF (§4.3, Figure 3). On a commodity NIC
+    the threads are shared by all cores and read rules/data from arbitrary
+    physical RAM — the DPI-ruleset-stealing attack exploits exactly that.
+
+    Timing uses a simple service model: one request on one thread costs
+    [overhead + bytes * per_byte] cycles; the frontend scheduler assigns
+    each request to the earliest-free thread of the chosen cluster. *)
+
+type kind = Dpi | Zip | Raid | Crypto
+
+val kind_name : kind -> string
+
+(** Per-kind service constants (cycles, cycles/byte). *)
+val overhead_cycles : kind -> int
+
+val cycles_per_byte : kind -> float
+
+type t
+
+(** [create ~kind ~threads ~cluster_size] groups [threads] into
+    [threads / cluster_size] clusters. [cluster_size] must divide
+    [threads]. *)
+val create : kind:kind -> threads:int -> cluster_size:int -> t
+
+val kind : t -> kind
+val threads : t -> int
+val cluster_size : t -> int
+val cluster_count : t -> int
+
+(** Ownership (S-NIC mode): clusters are claimed and released whole. *)
+val claim_cluster : t -> nf:int -> int option
+
+val release_clusters : t -> nf:int -> unit
+val cluster_owner : t -> cluster:int -> int option
+val free_clusters : t -> int
+
+(** Each cluster's TLB bank (configured by nf_launch, then locked). *)
+val cluster_tlb : t -> cluster:int -> Tlb.t
+
+(** [submit t ~cluster ~now ~bytes] schedules a request; returns its
+    completion time. *)
+val submit : t -> cluster:int -> now:int -> bytes:int -> int
+
+(** [submit_any t ~now ~bytes] uses any thread (commodity sharing). *)
+val submit_any : t -> now:int -> bytes:int -> int
+
+(** Reset all thread clocks (between experiments). *)
+val reset_timing : t -> unit

@@ -1,0 +1,72 @@
+type policy = Free_for_all | Temporal of { epoch : int; dead : int }
+type stats = { ops : int; busy_cycles : int; wait_cycles : int }
+
+type t = {
+  policy : policy;
+  clients : int;
+  mutable busy_until : int; (* FCFS serialization for Free_for_all *)
+  client_busy_until : int array; (* per-slot-owner serialization for Temporal *)
+  per_client : stats array;
+}
+
+let create ~policy ~clients =
+  if clients <= 0 then invalid_arg "Bus.create: need at least one client";
+  (match policy with
+  | Temporal { epoch; dead } when dead < 0 || dead >= epoch -> invalid_arg "Bus.create: need 0 <= dead < epoch"
+  | _ -> ());
+  {
+    policy;
+    clients;
+    busy_until = 0;
+    client_busy_until = Array.make clients 0;
+    per_client = Array.make clients { ops = 0; busy_cycles = 0; wait_cycles = 0 };
+  }
+
+let record t client ~now ~start ~cost =
+  let s = t.per_client.(client) in
+  t.per_client.(client) <-
+    { ops = s.ops + 1; busy_cycles = s.busy_cycles + cost; wait_cycles = s.wait_cycles + (start - now) }
+
+let request t ~client ~now ~cost =
+  if client < 0 || client >= t.clients then invalid_arg "Bus.request: bad client";
+  if cost <= 0 then invalid_arg "Bus.request: cost must be positive";
+  let start =
+    match t.policy with
+    | Free_for_all -> max now t.busy_until
+    | Temporal { epoch; dead } ->
+      if cost > epoch - dead then invalid_arg "Bus.request: cost exceeds usable epoch";
+      (* Earliest time >= lower bound lying in one of [client]'s slots,
+         within the slot's issue window. *)
+      let rec find tmin =
+        let e = tmin / epoch in
+        let slot_start = e * epoch in
+        let window_end = slot_start + (epoch - dead) - cost in
+        if e mod t.clients = client && tmin <= window_end then tmin
+        else begin
+          (* Advance to the start of the next slot we own (a full rotation
+             away when we just missed our own issue window). *)
+          let delta = (client - (e mod t.clients) + t.clients) mod t.clients in
+          let delta = if delta = 0 then t.clients else delta in
+          find ((e + delta) * epoch)
+        end
+      in
+      find (max now t.client_busy_until.(client))
+  in
+  (match t.policy with
+  | Free_for_all -> t.busy_until <- start + cost
+  | Temporal _ ->
+    (* A client's own ops serialize; other clients' slots are untouched —
+       the dead time guarantees in-flight ops drain before a slot change,
+       so no cross-client state is needed. *)
+    t.client_busy_until.(client) <- start + cost);
+  record t client ~now ~start ~cost;
+  start + cost
+
+let stats t ~client = t.per_client.(client)
+let policy t = t.policy
+let clients t = t.clients
+
+let worst_case_interference t =
+  match t.policy with
+  | Free_for_all -> None
+  | Temporal { epoch; dead } -> Some (((t.clients - 1) * epoch) + dead)

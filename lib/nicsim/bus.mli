@@ -1,0 +1,35 @@
+(** Internal IO bus with pluggable arbitration.
+
+    Commodity smart NICs have no bandwidth reservations on the internal
+    bus, which both enables denial-of-service (§3.3, the Agilio
+    [test_subsat] crash) and leaks timing (§4.5). S-NIC inserts trusted
+    arbiters implementing temporal partitioning [Wang et al., HPCA'14]:
+    time is sliced into epochs, each owned by one security domain, with a
+    dead-time tail in which no new operation may issue so that in-flight
+    operations drain before the slot changes hands. *)
+
+type policy =
+  | Free_for_all (* FCFS; whoever asks first occupies the bus *)
+  | Temporal of { epoch : int; dead : int } (* cycles *)
+
+type t
+
+(** [create ~policy ~clients] builds an arbiter for [clients] security
+    domains. For [Temporal], requires [0 <= dead < epoch]. *)
+val create : policy:policy -> clients:int -> t
+
+(** [request t ~client ~now ~cost] schedules a [cost]-cycle bus operation
+    issued at time [now]; returns its completion time. For [Temporal],
+    requires [cost <= epoch - dead]. *)
+val request : t -> client:int -> now:int -> cost:int -> int
+
+type stats = { ops : int; busy_cycles : int; wait_cycles : int }
+
+val stats : t -> client:int -> stats
+val policy : t -> policy
+val clients : t -> int
+
+(** Worst-case extra wait a well-behaved client can suffer from other
+    clients, per operation: unbounded under [Free_for_all] (encoded as
+    [None]), bounded by [(clients-1) * epoch + dead] under [Temporal]. *)
+val worst_case_interference : t -> int option

@@ -1,0 +1,66 @@
+type bank = { up : Tlb.t; down : Tlb.t }
+type t = { nic_mem : Physmem.t; host_mem : Physmem.t; banks : bank array }
+
+let create ~nic_mem ~host_mem ~banks =
+  if banks <= 0 then invalid_arg "Dma.create: need at least one bank";
+  {
+    nic_mem;
+    host_mem;
+    banks = Array.init banks (fun _ -> { up = Tlb.create ~capacity:8 (); down = Tlb.create ~capacity:8 () });
+  }
+
+let banks t = Array.length t.banks
+let host_mem t = t.host_mem
+let up_tlb t ~bank = t.banks.(bank).up
+let down_tlb t ~bank = t.banks.(bank).down
+
+let reset_bank t ~bank =
+  t.banks.(bank) <- { up = Tlb.create ~capacity:8 (); down = Tlb.create ~capacity:8 () }
+
+type direction = To_host | To_nic
+
+(* The whole [vaddr, vaddr+len) range must translate to contiguous
+   physical addresses; checking page-stride boundaries plus the final byte
+   suffices because TLB entries map contiguous power-of-two windows. *)
+let translate_range tlb ~vaddr ~len ~access =
+  match Tlb.translate tlb ~vaddr ~access with
+  | None -> None
+  | Some p0 ->
+    let ok = ref true in
+    let off = ref Physmem.page_size in
+    while !ok && !off < len do
+      (match Tlb.translate tlb ~vaddr:(vaddr + !off) ~access with
+      | Some p when p = p0 + !off -> ()
+      | Some _ | None -> ok := false);
+      off := !off + Physmem.page_size
+    done;
+    (match Tlb.translate tlb ~vaddr:(vaddr + len - 1) ~access with
+    | Some p when p = p0 + len - 1 -> ()
+    | Some _ | None -> ok := false);
+    if !ok then Some p0 else None
+
+let transfer ~checked t ~bank ~direction ~nic_addr ~host_addr ~len =
+  if bank < 0 || bank >= Array.length t.banks then invalid_arg "Dma.transfer: bad bank";
+  if len <= 0 then invalid_arg "Dma.transfer: bad length";
+  let b = t.banks.(bank) in
+  let resolve tlb vaddr ~access =
+    if not checked then Ok vaddr
+    else begin
+      match translate_range tlb ~vaddr ~len ~access with
+      | Some p -> Ok p
+      | None -> Error "DMA window violation"
+    end
+  in
+  let nic_access = match direction with To_host -> Tlb.Read | To_nic -> Tlb.Write in
+  let host_access = match direction with To_host -> Tlb.Write | To_nic -> Tlb.Read in
+  match (resolve b.up nic_addr ~access:nic_access, resolve b.down host_addr ~access:host_access) with
+  | Ok nic_p, Ok host_p ->
+    (match direction with
+    | To_host ->
+      let data = Physmem.read_bytes t.nic_mem ~pos:nic_p ~len in
+      Physmem.write_bytes t.host_mem ~pos:host_p data
+    | To_nic ->
+      let data = Physmem.read_bytes t.host_mem ~pos:host_p ~len in
+      Physmem.write_bytes t.nic_mem ~pos:nic_p data);
+    Ok ()
+  | Error e, _ | _, Error e -> Error e

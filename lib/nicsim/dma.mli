@@ -1,0 +1,35 @@
+(** Multi-bank DMA controller mediating NIC/host transfers.
+
+    S-NIC gives each programmable core a DMA bank with TLB entries for the
+    upstream (host→NIC) and downstream (NIC→host) directions, so a
+    function can only DMA into its own on-NIC RAM and into the
+    host-sanctioned region of host RAM (§4.2, SR-IOV-style). On commodity
+    NICs the checks are absent: any DMA can touch any address. *)
+
+type t
+
+(** [create ~nic_mem ~host_mem ~banks]. *)
+val create : nic_mem:Physmem.t -> host_mem:Physmem.t -> banks:int -> t
+
+val banks : t -> int
+val host_mem : t -> Physmem.t
+
+(** Per-bank TLBs. [up] translates NIC-side windows, [down] host-side
+    windows. Configured by nf_launch, then locked. *)
+val up_tlb : t -> bank:int -> Tlb.t
+
+val down_tlb : t -> bank:int -> Tlb.t
+
+(** [reset_bank t ~bank] replaces both of a bank's TLBs with fresh,
+    unlocked ones (teardown path). *)
+val reset_bank : t -> bank:int -> unit
+
+type direction = To_host | To_nic
+
+(** [transfer ~checked t ~bank ~direction ~nic_addr ~host_addr ~len].
+    When [checked] is true (S-NIC), both addresses must fall inside the
+    bank's locked windows; otherwise (commodity) raw addresses are used
+    unchecked. Virtual window addresses are translated. *)
+val transfer :
+  checked:bool -> t -> bank:int -> direction:direction -> nic_addr:int -> host_addr:int -> len:int ->
+  (unit, string) result

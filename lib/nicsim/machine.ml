@@ -1,0 +1,249 @@
+type mode = Liquidio_se_s | Liquidio_se_um of { nf_xkphys : bool } | Agilio | Bluefield | Snic
+
+let mode_name = function
+  | Liquidio_se_s -> "LiquidIO SE-S"
+  | Liquidio_se_um { nf_xkphys } -> if nf_xkphys then "LiquidIO SE-UM (xkphys)" else "LiquidIO SE-UM"
+  | Agilio -> "Agilio"
+  | Bluefield -> "BlueField (TrustZone)"
+  | Snic -> "S-NIC"
+
+type principal = Os | Nf_code of int
+
+type fault = Tlb_fault of int | Denied of { principal : principal; addr : int; reason : string }
+
+let pp_principal fmt = function
+  | Os -> Format.pp_print_string fmt "NIC OS"
+  | Nf_code id -> Format.fprintf fmt "NF %d" id
+
+let pp_fault fmt = function
+  | Tlb_fault v -> Format.fprintf fmt "TLB fault at vaddr %#x" v
+  | Denied { principal; addr; reason } -> Format.fprintf fmt "%a denied at %#x: %s" pp_principal principal addr reason
+
+let fault_to_string f = Format.asprintf "%a" pp_fault f
+
+type config = {
+  mode : mode;
+  cores : int;
+  dram_bytes : int;
+  l2 : Cache.t;
+  bus : Bus.t;
+  accels : Accel.t list;
+  host_mem_bytes : int;
+  rx_buffer_bytes : int;
+  tx_buffer_bytes : int;
+}
+
+type t = {
+  config : config;
+  mem : Physmem.t;
+  core_tlbs : Tlb.t array;
+  core_owners : int option array;
+  secure : (int, unit) Hashtbl.t; (* page idx -> BlueField secure world *)
+  alloc : Alloc.t;
+  pktio : Pktio.t;
+  dma : Dma.t;
+}
+
+let default_config ~mode =
+  {
+    mode;
+    cores = 16;
+    dram_bytes = 1 lsl 30; (* 1 GB of simulated DRAM *)
+    l2 = Cache.create ~sets:4096 ~ways:16 ~line_bits:6 ~mode:(if mode = Snic then Cache.Hard else Cache.Shared) ~domains:16;
+    bus =
+      Bus.create
+        ~policy:(if mode = Snic then Bus.Temporal { epoch = 96; dead = 16 } else Bus.Free_for_all)
+        ~clients:16;
+    accels =
+      [
+        Accel.create ~kind:Accel.Dpi ~threads:64 ~cluster_size:16;
+        Accel.create ~kind:Accel.Zip ~threads:64 ~cluster_size:16;
+        Accel.create ~kind:Accel.Raid ~threads:64 ~cluster_size:16;
+      ];
+    host_mem_bytes = 1 lsl 28;
+    rx_buffer_bytes = 2 lsl 20;
+    tx_buffer_bytes = 2 lsl 20;
+  }
+
+let mmio_base = 0x80000
+let mmio_reg_graph = 0
+let mmio_reg_iq = 8
+
+let create config =
+  let mem = Physmem.create ~size:config.dram_bytes in
+  (* Fixed layout: allocator metadata at 64 KB, accelerator MMIO pages at
+     512 KB, heap in the upper half. *)
+  let heap_base = config.dram_bytes / 2 in
+  let alloc = Alloc.init mem ~base:0x10000 ~heap_base ~heap_size:(config.dram_bytes - heap_base) ~max_entries:4096 in
+  (* One MMIO page per accelerator cluster, owned by the NIC OS until an
+     nf_launch hands it to a function. *)
+  List.iteri
+    (fun ai accel ->
+      for c = 0 to Accel.cluster_count accel - 1 do
+        Physmem.set_owner mem
+          ~pos:(mmio_base + (((ai * 64) + c) * Physmem.page_size))
+          ~len:Physmem.page_size Physmem.Nic_os
+      done)
+    config.accels;
+  let host_mem = Physmem.create ~size:config.host_mem_bytes in
+  {
+    config;
+    mem;
+    core_tlbs = Array.init config.cores (fun _ -> Tlb.create ~capacity:512 ());
+    core_owners = Array.make config.cores None;
+    secure = Hashtbl.create 64;
+    alloc;
+    pktio = Pktio.create mem alloc ~rx_buffer_bytes:config.rx_buffer_bytes ~tx_buffer_bytes:config.tx_buffer_bytes;
+    dma = Dma.create ~nic_mem:mem ~host_mem ~banks:config.cores;
+  }
+
+let mode t = t.config.mode
+let mem t = t.mem
+let cores t = t.config.cores
+let l2 t = t.config.l2
+let bus t = t.config.bus
+let alloc t = t.alloc
+let pktio t = t.pktio
+let dma t = t.dma
+
+let accel t kind =
+  match List.find_opt (fun a -> Accel.kind a = kind) t.config.accels with
+  | Some a -> a
+  | None -> invalid_arg ("Machine.accel: no such accelerator: " ^ Accel.kind_name kind)
+
+let accel_mmio_base t ~kind ~cluster =
+  let rec index i = function
+    | [] -> invalid_arg ("Machine.accel_mmio_base: no such accelerator: " ^ Accel.kind_name kind)
+    | a :: rest -> if Accel.kind a = kind then i else index (i + 1) rest
+  in
+  let ai = index 0 t.config.accels in
+  if cluster < 0 || cluster >= Accel.cluster_count (accel t kind) then
+    invalid_arg "Machine.accel_mmio_base: bad cluster";
+  mmio_base + (((ai * 64) + cluster) * Physmem.page_size)
+
+let bind_core t ~core ~nf =
+  if core < 0 || core >= t.config.cores then invalid_arg "Machine.bind_core: bad core";
+  match t.core_owners.(core) with
+  | Some other when other <> nf -> invalid_arg (Printf.sprintf "Machine.bind_core: core %d is bound to NF %d" core other)
+  | _ -> t.core_owners.(core) <- Some nf
+
+let unbind_cores t ~nf =
+  Array.iteri
+    (fun i o ->
+      if o = Some nf then begin
+        t.core_owners.(i) <- None;
+        t.core_tlbs.(i) <- Tlb.create ~capacity:512 ();
+        (* The core's DMA bank windows die with the binding. *)
+        Dma.reset_bank t.dma ~bank:i
+      end)
+    t.core_owners
+
+let core_tlb t ~core = t.core_tlbs.(core)
+let core_owner t ~core = t.core_owners.(core)
+
+let free_cores t =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (if t.core_owners.(i) = None then i :: acc else acc) in
+  go (t.config.cores - 1) []
+
+let set_secure t ~pos ~len secure =
+  let first = pos lsr Physmem.page_bits and last = (pos + len - 1) lsr Physmem.page_bits in
+  for idx = first to last do
+    if secure then Hashtbl.replace t.secure idx () else Hashtbl.remove t.secure idx
+  done
+
+let is_secure t addr = Hashtbl.mem t.secure (addr lsr Physmem.page_bits)
+
+(* In S-NIC mode the denylist is exactly "pages owned by some NF": the
+   nf_launch instruction moves pages into NF ownership and the hardware
+   refuses OS accesses to them from that point on (§4.2). *)
+let os_denied t addr =
+  t.config.mode = Snic && (match Physmem.owner_of t.mem addr with Physmem.Nf _ -> true | _ -> false)
+
+type addressing = Virt of { core : int; vaddr : int } | Phys of int
+
+(* The single policy decision point: may [principal] touch physical
+   address [paddr]? [via_tlb] records whether the access arrived through
+   a core TLB (already confined) or as a raw physical address. *)
+let check_phys t principal paddr ~via_tlb =
+  let deny reason = Error (Denied { principal; addr = paddr; reason }) in
+  match (t.config.mode, principal) with
+  | (Liquidio_se_s | Agilio), _ -> Ok paddr
+  | Liquidio_se_um _, Os -> Ok paddr
+  | Liquidio_se_um { nf_xkphys }, Nf_code _ ->
+    if via_tlb || nf_xkphys then Ok paddr else deny "xkphys disabled for functions"
+  | Bluefield, Os -> Ok paddr (* the secure-world OS sees everything *)
+  | Bluefield, Nf_code id ->
+    if via_tlb then Ok paddr
+    else if is_secure t paddr then begin
+      (* Normal-world code cannot touch secure memory, not even its own;
+         its own accesses come through the TLB path. *)
+      deny (Printf.sprintf "TrustZone: secure memory not accessible to normal world (NF %d)" id)
+    end
+    else Ok paddr
+  | Snic, Os -> if os_denied t paddr then deny "memory denylist: page belongs to a launched NF" else Ok paddr
+  | Snic, Nf_code id -> begin
+    match Physmem.owner_of t.mem paddr with
+    | Physmem.Nf owner when owner = id -> Ok paddr
+    | owner ->
+      deny
+        (Format.asprintf "single-owner RAM: page belongs to %a, not NF %d" Physmem.pp_owner owner id)
+  end
+
+let resolve t principal addressing ~write =
+  match addressing with
+  | Phys paddr -> check_phys t principal paddr ~via_tlb:false
+  | Virt { core; vaddr } -> begin
+    (match principal with
+    | Nf_code id when t.core_owners.(core) <> Some id ->
+      invalid_arg (Printf.sprintf "Machine: NF %d is not bound to core %d" id core)
+    | _ -> ());
+    match Tlb.translate t.core_tlbs.(core) ~vaddr ~access:(if write then Tlb.Write else Tlb.Read) with
+    | None -> Error (Tlb_fault vaddr)
+    | Some paddr -> check_phys t principal paddr ~via_tlb:true
+  end
+
+let ( let* ) = Result.bind
+
+let load_u8 t principal addressing =
+  let* paddr = resolve t principal addressing ~write:false in
+  Ok (Physmem.read_u8 t.mem paddr)
+
+let store_u8 t principal addressing v =
+  let* paddr = resolve t principal addressing ~write:true in
+  Ok (Physmem.write_u8 t.mem paddr v)
+
+let load_u64 t principal addressing =
+  let* paddr = resolve t principal addressing ~write:false in
+  let* _ = resolve t principal (match addressing with Phys p -> Phys (p + 7) | Virt { core; vaddr } -> Virt { core; vaddr = vaddr + 7 }) ~write:false in
+  Ok (Physmem.read_u64 t.mem paddr)
+
+let store_u64 t principal addressing v =
+  let* paddr = resolve t principal addressing ~write:true in
+  let* _ = resolve t principal (match addressing with Phys p -> Phys (p + 7) | Virt { core; vaddr } -> Virt { core; vaddr = vaddr + 7 }) ~write:true in
+  Ok (Physmem.write_u64 t.mem paddr v)
+
+let advance addressing off = match addressing with Phys p -> Phys (p + off) | Virt { core; vaddr } -> Virt { core; vaddr = vaddr + off }
+
+let load_bytes t principal addressing ~len =
+  if len < 0 then invalid_arg "Machine.load_bytes";
+  let buf = Bytes.create len in
+  let rec go i =
+    if i >= len then Ok (Bytes.to_string buf)
+    else begin
+      let* v = load_u8 t principal (advance addressing i) in
+      Bytes.set buf i (Char.chr v);
+      go (i + 1)
+    end
+  in
+  go 0
+
+let store_bytes t principal addressing s =
+  let len = String.length s in
+  let rec go i =
+    if i >= len then Ok ()
+    else begin
+      let* () = store_u8 t principal (advance addressing i) (Char.code s.[i]) in
+      go (i + 1)
+    end
+  in
+  go 0

@@ -1,0 +1,70 @@
+type access = Read | Write
+
+let page_bits = 12
+let page_size = 1 lsl page_bits
+let entries_per_table = 512
+let pte_valid = 1
+let pte_writable = 2
+let walk_dram_refs = 2
+
+let check_table_page addr =
+  if addr land (page_size - 1) <> 0 then invalid_arg "Pagetable: table pages must be page-aligned"
+
+let create mem ~alloc =
+  let root = alloc () in
+  check_table_page root;
+  ignore mem;
+  root
+
+let indices vaddr =
+  if vaddr < 0 || vaddr >= 1 lsl 30 then invalid_arg "Pagetable: vaddr outside the 30-bit space";
+  ((vaddr lsr 21) land (entries_per_table - 1), (vaddr lsr page_bits) land (entries_per_table - 1))
+
+let map mem ~alloc ~root ~vaddr ~paddr ~writable =
+  if vaddr land (page_size - 1) <> 0 || paddr land (page_size - 1) <> 0 then
+    invalid_arg "Pagetable.map: addresses must be page-aligned";
+  let l1, l2 = indices vaddr in
+  let l1_slot = root + (8 * l1) in
+  let l2_table =
+    let pte = Physmem.read_u64 mem l1_slot in
+    if pte land pte_valid <> 0 then pte land lnot (page_size - 1)
+    else begin
+      let t = alloc () in
+      check_table_page t;
+      Physmem.write_u64 mem l1_slot (t lor pte_valid);
+      t
+    end
+  in
+  let l2_slot = l2_table + (8 * l2) in
+  if Physmem.read_u64 mem l2_slot land pte_valid <> 0 then invalid_arg "Pagetable.map: vaddr already mapped";
+  Physmem.write_u64 mem l2_slot (paddr lor pte_valid lor (if writable then pte_writable else 0))
+
+let map_range mem ~alloc ~root ~vaddr ~paddr ~len ~writable =
+  if len land (page_size - 1) <> 0 then invalid_arg "Pagetable.map_range: length must be page-aligned";
+  let pages = len / page_size in
+  for i = 0 to pages - 1 do
+    map mem ~alloc ~root ~vaddr:(vaddr + (i * page_size)) ~paddr:(paddr + (i * page_size)) ~writable
+  done;
+  pages
+
+let walk mem ~root ~vaddr ~access =
+  match indices vaddr with
+  | exception Invalid_argument _ -> None
+  | l1, l2 ->
+    let pte1 = Physmem.read_u64 mem (root + (8 * l1)) in
+    if pte1 land pte_valid = 0 then None
+    else begin
+      let l2_table = pte1 land lnot (page_size - 1) in
+      let pte2 = Physmem.read_u64 mem (l2_table + (8 * l2)) in
+      if pte2 land pte_valid = 0 then None
+      else if access = Write && pte2 land pte_writable = 0 then None
+      else Some ((pte2 land lnot (page_size - 1)) lor (vaddr land (page_size - 1)))
+    end
+
+let table_pages_for ~vaddr ~len =
+  if len <= 0 then 1
+  else begin
+    let first = vaddr lsr 21 in
+    let last = (vaddr + len - 1) lsr 21 in
+    1 + (last - first + 1)
+  end

@@ -1,0 +1,37 @@
+(** Two-level page tables stored in simulated DRAM — the §4.2 alternate
+    design: instead of a handful of locked variable-size TLB entries, a
+    programmable core carries a page-table pointer whose tables (and the
+    pointer itself) become read-only after nf_launch.
+
+    Layout: 4 KB pages and 8-byte PTEs, so each table page holds 512
+    entries; virtual addresses decompose as [L1:9][L2:9][offset:12]
+    (30-bit virtual space). PTE bit 0 = valid, bit 1 = writable; the
+    physical page number lives in the address bits. *)
+
+type access = Read | Write
+
+(** [create mem ~alloc] starts an empty table; [alloc] provides fresh,
+    zeroed, page-aligned table pages (e.g. from {!Alloc}). Returns the
+    root's physical address. *)
+val create : Physmem.t -> alloc:(unit -> int) -> int
+
+(** [map mem ~alloc ~root ~vaddr ~paddr ~writable] installs one 4 KB
+    mapping. Both addresses must be page-aligned; remapping an existing
+    page raises [Invalid_argument]. *)
+val map : Physmem.t -> alloc:(unit -> int) -> root:int -> vaddr:int -> paddr:int -> writable:bool -> unit
+
+(** [map_range] maps [len] bytes (page-aligned) contiguously. Returns the
+    number of PTEs written. *)
+val map_range :
+  Physmem.t -> alloc:(unit -> int) -> root:int -> vaddr:int -> paddr:int -> len:int -> writable:bool -> int
+
+(** [walk mem ~root ~vaddr ~access] — the hardware walker: two DRAM
+    reads; [None] on invalid entries or write-to-read-only. *)
+val walk : Physmem.t -> root:int -> vaddr:int -> access:access -> int option
+
+(** Cost of one walk in DRAM references (for the design ablation). *)
+val walk_dram_refs : int
+
+(** Table pages consumed by a mapping of [len] bytes starting at [vaddr]
+    (root included). *)
+val table_pages_for : vaddr:int -> len:int -> int

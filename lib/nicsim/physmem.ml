@@ -1,0 +1,117 @@
+type owner = Free | Nic_os | Nf of int
+
+let page_bits = 12
+let page_size = 1 lsl page_bits
+
+type t = {
+  size : int;
+  pages : (int, Bytes.t) Hashtbl.t; (* page index -> 4 KB backing *)
+  owners : (int, owner) Hashtbl.t; (* page index -> owner; absent = Free *)
+}
+
+let create ~size =
+  if size <= 0 || size land (page_size - 1) <> 0 then invalid_arg "Physmem.create: size must be page-aligned";
+  { size; pages = Hashtbl.create 4096; owners = Hashtbl.create 4096 }
+
+let size t = t.size
+
+let check t pos len =
+  if pos < 0 || len < 0 || pos + len > t.size then
+    invalid_arg (Printf.sprintf "Physmem: access [%#x, %#x) outside DRAM of %#x bytes" pos (pos + len) t.size)
+
+let page t idx =
+  match Hashtbl.find_opt t.pages idx with
+  | Some b -> b
+  | None ->
+    let b = Bytes.make page_size '\000' in
+    Hashtbl.add t.pages idx b;
+    b
+
+let read_u8 t pos =
+  check t pos 1;
+  match Hashtbl.find_opt t.pages (pos lsr page_bits) with
+  | None -> 0
+  | Some b -> Char.code (Bytes.get b (pos land (page_size - 1)))
+
+let write_u8 t pos v =
+  check t pos 1;
+  Bytes.set (page t (pos lsr page_bits)) (pos land (page_size - 1)) (Char.chr (v land 0xff))
+
+let read_u64 t pos =
+  let v = ref 0 in
+  for i = 7 downto 0 do
+    v := (!v lsl 8) lor read_u8 t (pos + i)
+  done;
+  !v
+
+let write_u64 t pos v =
+  for i = 0 to 7 do
+    write_u8 t (pos + i) ((v lsr (8 * i)) land 0xff)
+  done
+
+let read_bytes t ~pos ~len =
+  check t pos len;
+  String.init len (fun i -> Char.chr (read_u8 t (pos + i)))
+
+let write_bytes t ~pos s =
+  check t pos (String.length s);
+  String.iteri (fun i c -> write_u8 t (pos + i) (Char.code c)) s
+
+let zero_range t ~pos ~len =
+  check t pos len;
+  (* Drop fully covered pages; clear partial edges. *)
+  let i = ref pos in
+  while !i < pos + len do
+    let idx = !i lsr page_bits in
+    let off = !i land (page_size - 1) in
+    let n = min (page_size - off) (pos + len - !i) in
+    if off = 0 && n = page_size then Hashtbl.remove t.pages idx
+    else begin
+      match Hashtbl.find_opt t.pages idx with
+      | None -> ()
+      | Some b -> Bytes.fill b off n '\000'
+    end;
+    i := !i + n
+  done
+
+let is_zero t ~pos ~len =
+  let ok = ref true in
+  for i = pos to pos + len - 1 do
+    if read_u8 t i <> 0 then ok := false
+  done;
+  !ok
+
+let owner_of t pos =
+  check t pos 1;
+  Option.value ~default:Free (Hashtbl.find_opt t.owners (pos lsr page_bits))
+
+let owner_equal a b = a = b
+
+let set_owner t ~pos ~len owner =
+  check t pos len;
+  if pos land (page_size - 1) <> 0 || len land (page_size - 1) <> 0 then
+    invalid_arg "Physmem.set_owner: range must be page-aligned";
+  for idx = pos lsr page_bits to ((pos + len) lsr page_bits) - 1 do
+    match owner with Free -> Hashtbl.remove t.owners idx | o -> Hashtbl.replace t.owners idx o
+  done
+
+let owned_ranges t owner =
+  let idxs =
+    Hashtbl.fold (fun idx o acc -> if o = owner then idx :: acc else acc) t.owners []
+    |> List.sort compare
+  in
+  (* Coalesce consecutive page indices into runs. *)
+  let rec runs acc = function
+    | [] -> List.rev acc
+    | idx :: rest -> begin
+      match acc with
+      | (start, len) :: tl when start + len = idx lsl page_bits -> runs ((start, len + page_size) :: tl) rest
+      | _ -> runs ((idx lsl page_bits, page_size) :: acc) rest
+    end
+  in
+  runs [] idxs
+
+let pp_owner fmt = function
+  | Free -> Format.pp_print_string fmt "free"
+  | Nic_os -> Format.pp_print_string fmt "nic-os"
+  | Nf id -> Format.fprintf fmt "nf-%d" id

@@ -1,0 +1,53 @@
+(** Sparse simulated physical memory with per-page ownership.
+
+    On-NIC DRAM is gigabytes, so pages are materialized lazily. Ownership
+    is the ground truth that S-NIC's trusted hardware enforces: every 4 KB
+    frame belongs to nobody, to the NIC OS, or to exactly one network
+    function (single-owner RAM semantics, §4.2). The *enforcement* of
+    ownership depends on the machine mode and lives in {!Machine}; this
+    module just stores bytes and owners. *)
+
+type t
+
+type owner = Free | Nic_os | Nf of int
+
+val page_bits : int
+(** 12: 4 KB ownership/backing granularity. *)
+
+val page_size : int
+
+(** [create ~size] models [size] bytes of DRAM. Accesses beyond [size]
+    raise [Invalid_argument]. *)
+val create : size:int -> t
+
+val size : t -> int
+
+val read_u8 : t -> int -> int
+val write_u8 : t -> int -> int -> unit
+
+(** Little-endian 64-bit accessors (used by allocator metadata and
+    descriptor rings). Values are OCaml ints (62 significant bits). *)
+val read_u64 : t -> int -> int
+
+val write_u64 : t -> int -> int -> unit
+
+val read_bytes : t -> pos:int -> len:int -> string
+val write_bytes : t -> pos:int -> string -> unit
+
+(** [zero_range t ~pos ~len] scrubs memory (the work nf_teardown does). *)
+val zero_range : t -> pos:int -> len:int -> unit
+
+(** [is_zero t ~pos ~len] checks a scrub (test support). *)
+val is_zero : t -> pos:int -> len:int -> bool
+
+val owner_of : t -> int -> owner
+
+(** [set_owner t ~pos ~len owner] claims whole pages covering the range.
+    Raises [Invalid_argument] if the range is not page-aligned. *)
+val set_owner : t -> pos:int -> len:int -> owner -> unit
+
+(** All pages owned by [owner], as (pos, len) runs. *)
+val owned_ranges : t -> owner -> (int * int) list
+
+val pp_owner : Format.formatter -> owner -> unit
+val owner_equal : owner -> owner -> bool

@@ -1,0 +1,160 @@
+type rule_match = {
+  src_prefix : (Net.Ipv4_addr.t * int) option;
+  dst_prefix : (Net.Ipv4_addr.t * int) option;
+  proto : int option;
+  src_port : int option;
+  dst_port : int option;
+  vni : int option;
+}
+
+let match_any = { src_prefix = None; dst_prefix = None; proto = None; src_port = None; dst_port = None; vni = None }
+
+type reservation = { mutable rx_bytes : int; mutable tx_bytes : int }
+
+type t = {
+  mem : Physmem.t;
+  alloc : Alloc.t;
+  rx_capacity : int;
+  tx_capacity : int;
+  mutable rules : (rule_match * int) list; (* insertion order *)
+  rings : (int, (int * int) Sched.t) Hashtbl.t; (* nf -> rx descriptors *)
+  reservations : (int, reservation) Hashtbl.t;
+  mutable wire : Bytes.t list; (* reversed *)
+  mutable drops : int;
+}
+
+let create mem alloc ~rx_buffer_bytes ~tx_buffer_bytes =
+  {
+    mem;
+    alloc;
+    rx_capacity = rx_buffer_bytes;
+    tx_capacity = tx_buffer_bytes;
+    rules = [];
+    rings = Hashtbl.create 16;
+    reservations = Hashtbl.create 16;
+    wire = [];
+    drops = 0;
+  }
+
+let add_rule t ~m ~nf = t.rules <- t.rules @ [ (m, nf) ]
+let remove_rules_for t ~nf = t.rules <- List.filter (fun (_, n) -> n <> nf) t.rules
+
+let reserved_rx t = Hashtbl.fold (fun _ r acc -> acc + r.rx_bytes) t.reservations 0
+let reserved_tx t = Hashtbl.fold (fun _ r acc -> acc + r.tx_bytes) t.reservations 0
+let rx_available t = t.rx_capacity - reserved_rx t
+let tx_available t = t.tx_capacity - reserved_tx t
+
+let reserve ?(sched = Sched.Fifo) t ~nf ~rx_bytes ~tx_bytes =
+  if Hashtbl.mem t.reservations nf then Error "NF already has a packet pipeline"
+  else if rx_bytes > rx_available t then Error "insufficient RX port buffer space"
+  else if tx_bytes > tx_available t then Error "insufficient TX port buffer space"
+  else begin
+    Hashtbl.replace t.reservations nf { rx_bytes; tx_bytes };
+    Hashtbl.replace t.rings nf (Sched.create sched);
+    Ok ()
+  end
+
+let scheduler_of t ~nf = Option.map Sched.policy (Hashtbl.find_opt t.rings nf)
+
+let release t ~nf =
+  (* Free any queued buffers before dropping the ring. *)
+  (match Hashtbl.find_opt t.rings nf with
+  | Some q -> Sched.iter (fun (addr, _) -> Alloc.free t.alloc addr) q
+  | None -> ());
+  Hashtbl.remove t.reservations nf;
+  Hashtbl.remove t.rings nf;
+  remove_rules_for t ~nf
+
+let rule_matches m (p : Net.Packet.t) ~vni =
+  let pf = Net.Packet.flow p in
+  (match m.src_prefix with None -> true | Some (pr, l) -> Net.Ipv4_addr.in_prefix pf.src_ip ~prefix:pr ~len:l)
+  && (match m.dst_prefix with None -> true | Some (pr, l) -> Net.Ipv4_addr.in_prefix pf.dst_ip ~prefix:pr ~len:l)
+  && (match m.proto with None -> true | Some pr -> pr = pf.proto)
+  && (match m.src_port with None -> true | Some sp -> sp = pf.src_port)
+  && (match m.dst_port with None -> true | Some dp -> dp = pf.dst_port)
+  && match m.vni with None -> true | Some v -> vni = Some v
+
+let deliver t frame =
+  match Net.Packet.parse ~verify_checksums:false frame with
+  | Error e ->
+    t.drops <- t.drops + 1;
+    Error (Format.asprintf "unparseable frame: %a" Net.Packet.pp_parse_error e)
+  | Ok pkt -> begin
+    let vni = match Net.Vxlan.decapsulate pkt with Ok { vni; _ } -> Some vni | Error _ -> None in
+    match List.find_opt (fun (m, _) -> rule_matches m pkt ~vni) t.rules with
+    | None ->
+      t.drops <- t.drops + 1;
+      Error "no switching rule matches"
+    | Some (_, nf) -> begin
+      match Hashtbl.find_opt t.rings nf with
+      | None ->
+        t.drops <- t.drops + 1;
+        Error "destination NF has no packet pipeline"
+      | Some ring -> begin
+        let len = Bytes.length frame in
+        match Alloc.alloc t.alloc ~owner:(Physmem.Nf nf) len with
+        | None ->
+          t.drops <- t.drops + 1;
+          Error "buffer pool exhausted"
+        | Some addr ->
+          Physmem.write_bytes t.mem ~pos:addr (Bytes.to_string frame);
+          (* Scheduler metadata: flow key + size; packets to well-known
+             (privileged) ports ride the high-priority class. *)
+          let flow = Net.Packet.flow pkt in
+          let meta =
+            {
+              Sched.flow = Net.Five_tuple.hash flow;
+              bytes = len;
+              level = (if flow.Net.Five_tuple.dst_port < 1024 then 0 else 1);
+              weight = 1;
+            }
+          in
+          Sched.enqueue ring meta (addr, len);
+          Ok nf
+      end
+    end
+  end
+
+let rx_pop t ~nf =
+  match Hashtbl.find_opt t.rings nf with
+  | None -> None
+  | Some q -> Sched.dequeue q
+
+let rx_depth t ~nf = match Hashtbl.find_opt t.rings nf with None -> 0 | Some q -> Sched.length q
+
+let transmit t ~nf:_ ~addr ~len =
+  let frame = Physmem.read_bytes t.mem ~pos:addr ~len in
+  t.wire <- Bytes.of_string frame :: t.wire;
+  Alloc.free t.alloc addr
+
+let wire_out t = List.rev t.wire
+let drop_count t = t.drops
+
+let recycle t ~addr = Alloc.free t.alloc addr
+
+let deliver_to t ~nf frame =
+  match Hashtbl.find_opt t.rings nf with
+  | None -> Error "destination NF has no packet pipeline"
+  | Some ring -> begin
+    let len = Bytes.length frame in
+    match Alloc.alloc t.alloc ~owner:(Physmem.Nf nf) len with
+    | None ->
+      t.drops <- t.drops + 1;
+      Error "buffer pool exhausted"
+    | Some addr ->
+      Physmem.write_bytes t.mem ~pos:addr (Bytes.to_string frame);
+      let meta =
+        match Net.Packet.parse ~verify_checksums:false frame with
+        | Ok pkt ->
+          let flow = Net.Packet.flow pkt in
+          {
+            Sched.flow = Net.Five_tuple.hash flow;
+            bytes = len;
+            level = (if flow.Net.Five_tuple.dst_port < 1024 then 0 else 1);
+            weight = 1;
+          }
+        | Error _ -> { Sched.flow = 0; bytes = len; level = 1; weight = 1 }
+      in
+      Sched.enqueue ring meta (addr, len);
+      Ok ()
+  end

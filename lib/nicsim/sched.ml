@@ -1,0 +1,187 @@
+type policy = Fifo | Drr of { quantum : int } | Priority of { levels : int } | Wfq
+
+let policy_name = function
+  | Fifo -> "fifo"
+  | Drr { quantum } -> Printf.sprintf "drr-%d" quantum
+  | Priority { levels } -> Printf.sprintf "prio-%d" levels
+  | Wfq -> "wfq"
+
+type meta = { flow : int; bytes : int; level : int; weight : int }
+
+(* A small array-backed min-heap on float keys, for the WFQ virtual
+   finish times. *)
+module Heap = struct
+  type 'a t = { mutable a : (float * 'a) array; mutable n : int }
+
+  let create () = { a = Array.make 16 (0., Obj.magic 0); n = 0 }
+
+  let swap h i j =
+    let t = h.a.(i) in
+    h.a.(i) <- h.a.(j);
+    h.a.(j) <- t
+
+  let push h k v =
+    if h.n = Array.length h.a then begin
+      let b = Array.make (2 * h.n) h.a.(0) in
+      Array.blit h.a 0 b 0 h.n;
+      h.a <- b
+    end;
+    h.a.(h.n) <- (k, v);
+    h.n <- h.n + 1;
+    let i = ref (h.n - 1) in
+    while !i > 0 && fst h.a.((!i - 1) / 2) > fst h.a.(!i) do
+      swap h ((!i - 1) / 2) !i;
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    if h.n = 0 then None
+    else begin
+      let top = h.a.(0) in
+      h.n <- h.n - 1;
+      h.a.(0) <- h.a.(h.n);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.n && fst h.a.(l) < fst h.a.(!smallest) then smallest := l;
+        if r < h.n && fst h.a.(r) < fst h.a.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          swap h !i !smallest;
+          i := !smallest
+        end
+        else continue := false
+      done;
+      Some top
+    end
+
+  let iter f h =
+    for i = 0 to h.n - 1 do
+      f (snd h.a.(i))
+    done
+end
+
+type 'a drr_state = {
+  queues : (int, (meta * 'a) Queue.t) Hashtbl.t;
+  mutable rotation : int list; (* flows in round-robin order, current first *)
+  deficits : (int, int) Hashtbl.t;
+  quantum : int;
+}
+
+type 'a state =
+  | Sfifo of (meta * 'a) Queue.t
+  | Sdrr of 'a drr_state
+  | Sprio of (meta * 'a) Queue.t array
+  | Swfq of { heap : 'a Heap.t; finishes : (int, float) Hashtbl.t; mutable vnow : float }
+
+type 'a t = { policy : policy; mutable count : int; state : 'a state }
+
+let create policy =
+  let state =
+    match policy with
+    | Fifo -> Sfifo (Queue.create ())
+    | Drr { quantum } ->
+      if quantum <= 0 then invalid_arg "Sched.create: quantum must be positive";
+      Sdrr { queues = Hashtbl.create 16; rotation = []; deficits = Hashtbl.create 16; quantum }
+    | Priority { levels } ->
+      if levels <= 0 then invalid_arg "Sched.create: need at least one priority level";
+      Sprio (Array.init levels (fun _ -> Queue.create ()))
+    | Wfq -> Swfq { heap = Heap.create (); finishes = Hashtbl.create 16; vnow = 0. }
+  in
+  { policy; count = 0; state }
+
+let policy t = t.policy
+let length t = t.count
+let is_empty t = t.count = 0
+
+let enqueue t meta x =
+  t.count <- t.count + 1;
+  match t.state with
+  | Sfifo q -> Queue.push (meta, x) q
+  | Sdrr s -> begin
+    match Hashtbl.find_opt s.queues meta.flow with
+    | Some q -> Queue.push (meta, x) q
+    | None ->
+      let q = Queue.create () in
+      Queue.push (meta, x) q;
+      Hashtbl.add s.queues meta.flow q;
+      Hashtbl.replace s.deficits meta.flow 0;
+      s.rotation <- s.rotation @ [ meta.flow ]
+  end
+  | Sprio qs ->
+    let level = max 0 (min (Array.length qs - 1) meta.level) in
+    Queue.push (meta, x) qs.(level)
+  | Swfq s ->
+    let weight = max 1 meta.weight in
+    let last = Option.value ~default:0. (Hashtbl.find_opt s.finishes meta.flow) in
+    let start = Float.max s.vnow last in
+    let finish = start +. (float_of_int meta.bytes /. float_of_int weight) in
+    Hashtbl.replace s.finishes meta.flow finish;
+    Heap.push s.heap finish x
+
+let dequeue t =
+  if t.count = 0 then None
+  else begin
+    t.count <- t.count - 1;
+    match t.state with
+    | Sfifo q -> Some (snd (Queue.pop q))
+    | Sprio qs ->
+      let rec go i = if Queue.is_empty qs.(i) then go (i + 1) else snd (Queue.pop qs.(i)) in
+      Some (go 0)
+    | Swfq s -> begin
+      match Heap.pop s.heap with
+      | Some (finish, x) ->
+        s.vnow <- finish;
+        Some x
+      | None -> None
+    end
+    | Sdrr s ->
+      (* Visit flows round-robin; a flow whose head exceeds its deficit
+         gets a quantum and goes to the back of the rotation. *)
+      let rec go () =
+        match s.rotation with
+        | [] -> None
+        | flow :: rest -> begin
+          match Hashtbl.find_opt s.queues flow with
+          | None ->
+            s.rotation <- rest;
+            go ()
+          | Some q when Queue.is_empty q ->
+            Hashtbl.remove s.queues flow;
+            Hashtbl.remove s.deficits flow;
+            s.rotation <- rest;
+            go ()
+          | Some q ->
+            let meta, _ = Queue.peek q in
+            let deficit = Option.value ~default:0 (Hashtbl.find_opt s.deficits flow) in
+            if deficit >= meta.bytes then begin
+              Hashtbl.replace s.deficits flow (deficit - meta.bytes);
+              let _, x = Queue.pop q in
+              if Queue.is_empty q then begin
+                Hashtbl.remove s.queues flow;
+                Hashtbl.remove s.deficits flow;
+                s.rotation <- rest
+              end;
+              Some x
+            end
+            else begin
+              Hashtbl.replace s.deficits flow (deficit + s.quantum);
+              s.rotation <- rest @ [ flow ];
+              go ()
+            end
+        end
+      in
+      go ()
+  end
+
+let drain t =
+  let rec go acc = match dequeue t with None -> List.rev acc | Some x -> go (x :: acc) in
+  go []
+
+let iter f t =
+  match t.state with
+  | Sfifo q -> Queue.iter (fun (_, x) -> f x) q
+  | Sprio qs -> Array.iter (Queue.iter (fun (_, x) -> f x)) qs
+  | Sdrr s -> Hashtbl.iter (fun _ q -> Queue.iter (fun (_, x) -> f x) q) s.queues
+  | Swfq s -> Heap.iter f s.heap

@@ -1,0 +1,44 @@
+(** Per-VPP packet schedulers.
+
+    A virtual packet pipeline's configuration names "the desired packet
+    scheduling algorithm" (§4.4, citing PIFO- and Loom-style programmable
+    schedulers). The scheduler orders the packets queued for one NF across
+    its flows. Four classic disciplines are provided; the choice is part
+    of the function's measured configuration. *)
+
+type policy =
+  | Fifo
+  | Drr of { quantum : int } (* deficit round robin, byte quantum *)
+  | Priority of { levels : int } (* strict priority, 0 = highest *)
+  | Wfq (* weighted fair queueing by flow weight *)
+
+val policy_name : policy -> string
+
+(** Policy of a descriptor: its flow key, its size in bytes, and
+    discipline-specific class/weight. *)
+type meta = {
+  flow : int; (* flow key (hash); one queue per flow for DRR/WFQ *)
+  bytes : int;
+  level : int; (* Priority: class (0 = highest); ignored otherwise *)
+  weight : int; (* Wfq: flow weight (>=1); ignored otherwise *)
+}
+
+type 'a t
+
+val create : policy -> 'a t
+val policy : 'a t -> policy
+
+val enqueue : 'a t -> meta -> 'a -> unit
+
+(** [dequeue t] picks the next descriptor per the discipline. *)
+val dequeue : 'a t -> 'a option
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** Drain everything, in service order. *)
+val drain : 'a t -> 'a list
+
+(** Apply [f] to every queued element (used to recycle buffers when a
+    pipeline is torn down). *)
+val iter : ('a -> unit) -> 'a t -> unit

@@ -1,0 +1,55 @@
+type entry = { vbase : int; pbase : int; size : int; writable : bool }
+type access = Read | Write
+
+type t = { mutable entries : entry list; mutable locked : bool; capacity : int }
+
+let create ?(capacity = 512) () = { entries = []; locked = false; capacity }
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let overlaps a b =
+  let a_end = a.vbase + a.size and b_end = b.vbase + b.size in
+  a.vbase < b_end && b.vbase < a_end
+
+let install t e =
+  if t.locked then invalid_arg "Tlb.install: TLB is locked";
+  if not (is_pow2 e.size) then invalid_arg "Tlb.install: size must be a power of two";
+  if e.vbase land (e.size - 1) <> 0 || e.pbase land (e.size - 1) <> 0 then
+    invalid_arg "Tlb.install: base not aligned to size";
+  if List.exists (overlaps e) t.entries then invalid_arg "Tlb.install: overlapping mapping";
+  if List.length t.entries >= t.capacity then invalid_arg "Tlb.install: TLB full";
+  t.entries <- e :: t.entries
+
+let page = 4096
+
+let map_region t ~vbase ~pbase ~len ~writable =
+  if vbase land (page - 1) <> 0 || pbase land (page - 1) <> 0 || len land (page - 1) <> 0 || len <= 0 then
+    invalid_arg "Tlb.map_region: arguments must be page-aligned";
+  let pow2_floor n =
+    let rec go p = if p * 2 <= n then go (p * 2) else p in
+    go 1
+  in
+  let align_of x = if x = 0 then max_int else x land (-x) in
+  let rec go v p remaining count =
+    if remaining = 0 then count
+    else begin
+      let size = min (min (align_of v) (align_of p)) (pow2_floor remaining) in
+      install t { vbase = v; pbase = p; size; writable };
+      go (v + size) (p + size) (remaining - size) (count + 1)
+    end
+  in
+  go vbase pbase len 0
+
+let lock t = t.locked <- true
+let is_locked t = t.locked
+
+let translate t ~vaddr ~access =
+  let hit e = vaddr >= e.vbase && vaddr < e.vbase + e.size in
+  match List.find_opt hit t.entries with
+  | Some e when access = Read || e.writable -> Some (e.pbase + (vaddr - e.vbase))
+  | Some _ | None -> None
+
+let entry_count t = List.length t.entries
+let capacity t = t.capacity
+let entries t = t.entries
+let mapped_bytes t = List.fold_left (fun acc e -> acc + e.size) 0 t.entries

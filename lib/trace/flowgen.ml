@@ -1,0 +1,42 @@
+let flows rng ~n =
+  let seen = Hashtbl.create (2 * n) in
+  let fresh () =
+    let rec go () =
+      let src_ip = Net.Ipv4_addr.of_octets 10 (Rng.int rng 256) (Rng.int rng 256) (Rng.int rng 254 + 1) in
+      let dst_ip = Net.Ipv4_addr.of_octets (Rng.int rng 223 + 1) (Rng.int rng 256) (Rng.int rng 256) (Rng.int rng 254 + 1) in
+      let proto = if Rng.int rng 100 < 80 then 6 else 17 in
+      let src_port = 1024 + Rng.int rng (65536 - 1024) in
+      let dst_port = Rng.pick rng [| 80; 443; 53; 22; 8080; 25; 3306 |] in
+      let ft = Net.Five_tuple.make ~src_ip ~dst_ip ~proto ~src_port ~dst_port in
+      if Hashtbl.mem seen ft then go ()
+      else begin
+        Hashtbl.add seen ft ();
+        ft
+      end
+    in
+    go ()
+  in
+  Array.init n (fun _ -> fresh ())
+
+let packet_of_flow ?payload_len rng (flow : Net.Five_tuple.t) =
+  let len = match payload_len with Some l -> l | None -> 16 + Rng.int rng 1384 in
+  (* Deterministic per-flow payload: packets of one flow carry the same
+     byte stream, distinct flows differ (this is what gives a DPI engine
+     its flow-skewed state popularity). *)
+  let seed = Net.Five_tuple.hash flow in
+  let byte i =
+    let v = ((seed lsr (i land 7)) + (i * 131) + (seed * 31 * (1 + (i land 15)))) land 0xffff in
+    (* Mostly printable text with occasional binary, like application
+       traffic: this is what drives a DPI automaton past its root. *)
+    if v land 15 = 0 then v land 0xff else if v land 7 < 6 then 97 + (v mod 26) else 32 + (v mod 95)
+  in
+  let payload = String.init len (fun i -> Char.chr (byte i)) in
+  let proto = if flow.proto = 6 then Net.Packet.Tcp else Net.Packet.Udp in
+  Net.Packet.make ~src_ip:flow.src_ip ~dst_ip:flow.dst_ip ~proto ~src_port:flow.src_port ~dst_port:flow.dst_port
+    payload
+
+let figure8_frame_sizes = [ 64; 512; 1500; 9000 ]
+
+let payload_for_frame ~frame_size ~proto =
+  let hdr = 14 + 20 + (match proto with Net.Packet.Tcp -> 20 | Net.Packet.Udp -> 8) in
+  max 0 (frame_size - hdr)

@@ -1,0 +1,18 @@
+(** Synthetic flow and packet generation. *)
+
+(** [flows rng ~n] draws [n] distinct TCP/UDP 5-tuples with private
+    source addresses and public destinations. *)
+val flows : Rng.t -> n:int -> Net.Five_tuple.t array
+
+(** [packet_of_flow ?payload_len rng flow] materializes a packet for
+    [flow]; payload defaults to a random length in [16, 1400) filled with
+    deterministic bytes. *)
+val packet_of_flow : ?payload_len:int -> Rng.t -> Net.Five_tuple.t -> Net.Packet.t
+
+(** Frame sizes (total wire bytes) from the paper's Figure 8:
+    64 B, 512 B, 1.5 KB standard Ethernet, 9 KB jumbo. *)
+val figure8_frame_sizes : int list
+
+(** [payload_for_frame ~frame_size ~proto] is the payload length that
+    yields a [frame_size]-byte wire frame (clamped at 0). *)
+val payload_for_frame : frame_size:int -> proto:Net.Packet.proto -> int

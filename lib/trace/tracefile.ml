@@ -1,0 +1,100 @@
+let magic = "SNICTRC1"
+
+let add_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let add_u16 b v =
+  add_u8 b v;
+  add_u8 b (v lsr 8)
+
+let add_u32 b v =
+  add_u16 b v;
+  add_u16 b (v lsr 16)
+
+let add_u64 b v =
+  add_u32 b v;
+  add_u32 b (v lsr 32)
+
+let save path (t : Tracegen.t) =
+  let b = Buffer.create (1 lsl 16) in
+  Buffer.add_string b magic;
+  add_u32 b (Array.length t.Tracegen.flows);
+  Array.iter
+    (fun (f : Net.Five_tuple.t) ->
+      add_u32 b f.src_ip;
+      add_u32 b f.dst_ip;
+      add_u8 b f.proto;
+      add_u16 b f.src_port;
+      add_u16 b f.dst_port)
+    t.Tracegen.flows;
+  add_u32 b (Array.length t.Tracegen.events);
+  Array.iter
+    (fun (e : Tracegen.event) ->
+      add_u32 b e.flow;
+      add_u32 b e.size;
+      add_u64 b e.time_us)
+    t.Tracegen.events;
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Buffer.output_buffer oc b)
+
+(* A tiny cursor-based reader with bounds checks. *)
+type cursor = { data : string; mutable pos : int }
+
+exception Bad of string
+
+let need c n = if c.pos + n > String.length c.data then raise (Bad "truncated trace file")
+
+let u8 c =
+  need c 1;
+  let v = Char.code c.data.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let u16 c =
+  let lo = u8 c in
+  lo lor (u8 c lsl 8)
+
+let u32 c =
+  let lo = u16 c in
+  lo lor (u16 c lsl 16)
+
+let u64 c =
+  let lo = u32 c in
+  lo lor (u32 c lsl 32)
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error e
+  | data -> begin
+    let c = { data; pos = 0 } in
+    try
+      need c 8;
+      if String.sub data 0 8 <> magic then raise (Bad "bad magic");
+      c.pos <- 8;
+      let n_flows = u32 c in
+      if n_flows > 50_000_000 then raise (Bad "implausible flow count");
+      let flows =
+        Array.init n_flows (fun _ ->
+            let src_ip = u32 c in
+            let dst_ip = u32 c in
+            let proto = u8 c in
+            let src_port = u16 c in
+            let dst_port = u16 c in
+            Net.Five_tuple.make ~src_ip ~dst_ip ~proto ~src_port ~dst_port)
+      in
+      let n_events = u32 c in
+      if n_events > 500_000_000 then raise (Bad "implausible event count");
+      let events =
+        Array.init n_events (fun _ ->
+            let flow = u32 c in
+            if flow >= n_flows then raise (Bad "event references unknown flow");
+            let size = u32 c in
+            let time_us = u64 c in
+            { Tracegen.flow; size; time_us })
+      in
+      if c.pos <> String.length data then raise (Bad "trailing bytes");
+      Ok { Tracegen.flows; events }
+    with Bad e -> Error e
+  end

@@ -1,0 +1,33 @@
+(** Synthetic packet traces standing in for the paper's CAIDA 2016 and
+    ICTF 2010 captures (§5.1): a compact event representation (flow index +
+    wire size + timestamp) that experiments can replay without
+    materializing full frames. *)
+
+type event = {
+  flow : int; (* index into [flows] *)
+  size : int; (* wire bytes *)
+  time_us : int; (* microseconds since trace start *)
+}
+
+type t = {
+  flows : Net.Five_tuple.t array;
+  events : event array;
+}
+
+(** ICTF-like: [n_flows] flows whose popularity is Zipf([skew]), defaults
+    matching §5.3 (100,000 flows, skew 1.1). Packet sizes follow a simple
+    IMIX mix; events are spread uniformly over [duration_s]. *)
+val ictf_like : ?n_flows:int -> ?skew:float -> ?duration_s:float -> seed:int -> packets:int -> unit -> t
+
+(** CAIDA-like: new flows keep arriving for the whole duration (constant
+    arrival rate plus Zipf-reuse of old flows), which is what drives the
+    Monitor NF's unbounded memory growth (Figure 7). *)
+val caida_like : ?flows_per_sec:int -> ?skew:float -> seed:int -> duration_s:float -> packets:int -> unit -> t
+
+(** Number of distinct flows seen in the first [t] microseconds. *)
+val distinct_flows_before : t -> int -> int
+
+(** Replay as parsed packets (materialized lazily). *)
+val packets : t -> Net.Packet.t Seq.t
+
+val event_count : t -> int

@@ -1,0 +1,50 @@
+(** Trace-driven multi-core timing model: private L1s, a shared
+    (optionally hard-partitioned) L2, and the internal bus (optionally
+    temporally partitioned) in front of DRAM.
+
+    This is the gem5 stand-in for Figure 5: the *relative* IPC of a
+    domain under S-NIC isolation (hard cache partition + bus temporal
+    partitioning) versus the commodity baseline (shared cache,
+    free-for-all bus) at identical co-tenancy. Domains advance in global
+    time order, so bus contention is order-faithful. *)
+
+type params = {
+  l1_bytes : int;
+  l1_ways : int;
+  line_bits : int;
+  l2_ways : int;
+  l2_hit_cycles : int;
+  dram_cycles : int; (* latency after the bus transfer completes *)
+  bus_cost : int; (* bus occupancy of one line fill *)
+  epoch : int; (* temporal-partitioning epoch (S-NIC config) *)
+  dead : int;
+}
+
+val default_params : params
+
+type isolation =
+  | Baseline (* shared cache, free-for-all bus (commodity) *)
+  | Snic (* hard cache partition + temporal bus (the paper's design) *)
+  | Cache_only (* hard cache partition, free-for-all bus *)
+  | Bus_only (* shared cache, temporal bus *)
+
+type domain_result = {
+  nf : string;
+  instructions : int;
+  cycles : int;
+  ipc : float;
+  l1_miss_rate : float;
+  l2_miss_rate : float;
+}
+
+val default_horizon : int
+
+(** [run ~params ~l2_bytes ~isolation streams] co-runs [streams] (one per
+    domain, wrapped cyclically) for [horizon] cycles and returns
+    per-domain results. *)
+val run :
+  ?params:params -> ?horizon:int -> l2_bytes:int -> isolation:isolation -> Workload.t array -> domain_result array
+
+(** [degradation ~params ~l2_bytes streams] — per-domain relative IPC
+    loss of [Snic] vs [Baseline], in percent. *)
+val degradation : ?params:params -> ?horizon:int -> l2_bytes:int -> Workload.t array -> (string * float) array

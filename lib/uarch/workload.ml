@@ -1,0 +1,125 @@
+let names = [ "FW"; "DPI"; "NAT"; "LB"; "LPM"; "Mon" ]
+
+type t = { nf : string; addrs : int array; packets : int; instructions : int; exec_cycles_per_access : int }
+
+(* Compute density between recorded memory touches. A recorded access for
+   most NFs is one table lookup surrounded by a couple of hundred
+   instructions of parsing, hashing and branching; DPI records one access
+   per automaton step (one payload byte), which costs only a dozen
+   instructions. These densities make the baseline IPC ~1 and set the
+   fraction of time exposed to memory-system interference. *)
+let exec_cycles nf =
+  match nf with
+  | "FW" -> 180
+  | "DPI" -> 112
+  | "NAT" -> 180
+  | "LB" -> 220
+  | "LPM" -> 200
+  | "Mon" -> 200
+  | _ -> 200
+
+(* Synthetic address-space layout for one NF instance. *)
+let table_base = 0x0800_0000 (* region 0: the primary data structure *)
+let aux_base = 0x4000_0000 (* region 1: secondary tables (LPM tbl8) *)
+let ring_base = 0x7000_0000 (* packet buffers *)
+let ring_slots = 16
+let slot_bytes = 2048
+
+(* Bytes per probed slot, sized so region 0 spans the NF's measured
+   working set (Table 6): FW 200k-slot flow cache ~13.6 MB, DPI automaton
+   ~24 MB, NAT translation table ~40 MB, LB Maglev table ~0.5 MB, LPM
+   tbl24 32 MB, Mon flow table ~11 MB at 100k flows. *)
+let entry_bytes nf region =
+  match (nf, region) with
+  | "FW", _ -> 68
+  | "DPI", _ -> 64
+  | "NAT", _ -> 640
+  | "LB", _ -> 8
+  | "LPM", 0 -> 2
+  | "LPM", _ -> 2
+  | "Mon", _ -> 113
+  | _ -> 64
+
+let working_set_bytes nf =
+  match nf with
+  | "FW" -> 200_000 * 68
+  | "DPI" -> 380_000 * 64
+  | "NAT" -> 65_536 * 640
+  | "LB" -> 65_537 * 8
+  | "LPM" -> (1 lsl 24) * 2
+  | "Mon" -> 100_000 * 113
+  | _ -> invalid_arg ("Uarch.Workload: unknown NF " ^ nf)
+
+(* A growable int vector (no Dynarray before OCaml 5.2). *)
+module Vec = struct
+  type t = { mutable a : int array; mutable n : int }
+
+  let create () = { a = Array.make 4096 0; n = 0 }
+
+  let push v x =
+    if v.n = Array.length v.a then begin
+      let b = Array.make (2 * v.n) 0 in
+      Array.blit v.a 0 b 0 v.n;
+      v.a <- b
+    end;
+    v.a.(v.n) <- x;
+    v.n <- v.n + 1
+
+  let to_array v = Array.sub v.a 0 v.n
+end
+
+let generate ~packets ~seed nf_name =
+  let vec = Vec.create () in
+  (* The SIMD aho_corasick crate the paper uses runs a memchr prefilter:
+     only ~1 in 8 payload bytes reaches the DFA. Model that by recording
+     every 8th automaton-state probe (the skipped bytes are pure SIMD
+     compute, folded into exec_cycles_per_access). *)
+  let dpi_ctr = ref 0 in
+  let probe ~region ~index =
+    let record =
+      if String.equal nf_name "DPI" then begin
+        incr dpi_ctr;
+        !dpi_ctr land 7 = 0
+      end
+      else true
+    in
+    if record then Vec.push vec ((if region = 0 then table_base else aux_base) + (index * entry_bytes nf_name region))
+  in
+  let spec = Nf.Registry.find nf_name in
+  let nf = spec.Nf.Registry.build ~probe ~scale:1.0 () in
+  let trace = Trace.Tracegen.ictf_like ~n_flows:100_000 ~seed ~packets () in
+  let i = ref 0 in
+  Seq.iter
+    (fun pkt ->
+      (* Streaming access over the packet bytes in its ring buffer. *)
+      let slot = ring_base + (!i mod ring_slots * slot_bytes) in
+      let wire = Net.Packet.wire_length pkt in
+      let lines = (wire + 63) / 64 in
+      for k = 0 to lines - 1 do
+        Vec.push vec (slot + (k * 64))
+      done;
+      incr i;
+      ignore (nf.Nf.Types.process pkt))
+    (Trace.Tracegen.packets trace);
+  let addrs = Vec.to_array vec in
+  let exec = exec_cycles nf_name in
+  { nf = nf_name; addrs; packets; instructions = exec * Array.length addrs; exec_cycles_per_access = exec }
+
+let cache : (string * int * int, t) Hashtbl.t = Hashtbl.create 16
+
+let stream ?(packets = 2000) ?(seed = 0x5EED) nf_name =
+  if not (List.mem nf_name names) then invalid_arg ("Uarch.Workload: unknown NF " ^ nf_name);
+  let key = (nf_name, packets, seed) in
+  match Hashtbl.find_opt cache key with
+  | Some t -> t
+  | None ->
+    let t = generate ~packets ~seed nf_name in
+    Hashtbl.add cache key t;
+    t
+
+let rebase t ~domain =
+  if domain = 0 then t
+  else begin
+    let off = domain lsl 33 in
+    { t with addrs = Array.map (fun a -> a + off) t.addrs }
+  end

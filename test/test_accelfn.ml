@@ -1,0 +1,162 @@
+(* ---------- LZ77 (the ZIP accelerator's engine) ---------- *)
+
+let test_lz_roundtrip_basic () =
+  List.iter
+    (fun s ->
+      Alcotest.(check string) (Printf.sprintf "roundtrip %S" (String.sub s 0 (min 12 (String.length s)))) s
+        (Accelfn.Lz77.decompress (Accelfn.Lz77.compress s)))
+    [
+      "";
+      "a";
+      "abc";
+      String.make 1000 'x';
+      "abcabcabcabcabcabcabcabc";
+      "no repetition here at all!";
+      String.init 5000 (fun i -> Char.chr (i land 0xff));
+    ]
+
+let test_lz_compresses_repetition () =
+  let repetitive = String.concat "" (List.init 200 (fun _ -> "the quick brown fox ")) in
+  let r = Accelfn.Lz77.ratio repetitive in
+  Alcotest.(check bool) (Printf.sprintf "ratio %.3f < 0.1" r) true (r < 0.1);
+  (* Incompressible (pseudo-random) data should not blow up much. *)
+  let rng = Trace.Rng.create ~seed:9 in
+  let noise = String.init 4096 (fun _ -> Char.chr (Trace.Rng.int rng 256)) in
+  let rn = Accelfn.Lz77.ratio noise in
+  Alcotest.(check bool) (Printf.sprintf "noise ratio %.3f <= 1.02" rn) true (rn <= 1.02)
+
+let test_lz_overlapping_copy () =
+  (* "aaaa..." forces distance-1 matches: copies overlap their source. *)
+  let s = String.make 500 'a' in
+  let c = Accelfn.Lz77.compress s in
+  Alcotest.(check bool) "tiny" true (String.length c < 20);
+  Alcotest.(check string) "overlap decode" s (Accelfn.Lz77.decompress c)
+
+let test_lz_rejects_garbage () =
+  Alcotest.check_raises "truncated literal" (Invalid_argument "Lz77.decompress: truncated token") (fun () ->
+      ignore (Accelfn.Lz77.decompress "\x05ab"));
+  Alcotest.check_raises "bad distance" (Invalid_argument "Lz77.decompress: bad distance") (fun () ->
+      ignore (Accelfn.Lz77.decompress "\x80\xff\xff"))
+
+let prop_lz_roundtrip =
+  QCheck.Test.make ~name:"lz77 roundtrips arbitrary strings" ~count:300
+    (QCheck.string_of_size (QCheck.Gen.int_range 0 2000))
+    (fun s -> String.equal s (Accelfn.Lz77.decompress (Accelfn.Lz77.compress s)))
+
+let prop_lz_roundtrip_lowentropy =
+  QCheck.Test.make ~name:"lz77 roundtrips low-entropy strings" ~count:200
+    (QCheck.string_gen_of_size (QCheck.Gen.int_range 0 3000) (QCheck.Gen.oneofl [ 'a'; 'b' ]))
+    (fun s -> String.equal s (Accelfn.Lz77.decompress (Accelfn.Lz77.compress s)))
+
+(* ---------- GF(256) ---------- *)
+
+let test_gf_field_laws () =
+  for a = 1 to 255 do
+    Alcotest.(check int) "a*inv(a)=1" 1 (Accelfn.Gf256.mul a (Accelfn.Gf256.inv a));
+    Alcotest.(check int) "a*1=a" a (Accelfn.Gf256.mul a 1);
+    Alcotest.(check int) "a+a=0" 0 (Accelfn.Gf256.add a a)
+  done;
+  Alcotest.(check int) "0*x=0" 0 (Accelfn.Gf256.mul 0 123);
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () -> ignore (Accelfn.Gf256.div 5 0))
+
+let test_gf_generator_order () =
+  (* The generator's powers enumerate all 255 nonzero elements. *)
+  let seen = Hashtbl.create 256 in
+  for k = 0 to 254 do
+    Hashtbl.replace seen (Accelfn.Gf256.exp k) ()
+  done;
+  Alcotest.(check int) "255 distinct powers" 255 (Hashtbl.length seen);
+  Alcotest.(check int) "g^255 = 1" 1 (Accelfn.Gf256.exp 255)
+
+let prop_gf_mul_commutes_distributes =
+  QCheck.Test.make ~name:"gf256 ring laws" ~count:500
+    (QCheck.triple (QCheck.int_bound 255) (QCheck.int_bound 255) (QCheck.int_bound 255))
+    (fun (a, b, c) ->
+      Accelfn.Gf256.mul a b = Accelfn.Gf256.mul b a
+      && Accelfn.Gf256.mul a (Accelfn.Gf256.add b c)
+         = Accelfn.Gf256.add (Accelfn.Gf256.mul a b) (Accelfn.Gf256.mul a c))
+
+(* ---------- RAID P+Q ---------- *)
+
+let blocks_of rng k len =
+  Array.init k (fun _ -> String.init len (fun _ -> Char.chr (Trace.Rng.int rng 256)))
+
+let test_raid_encode_verify () =
+  let rng = Trace.Rng.create ~seed:21 in
+  let s = Accelfn.Raid.encode (blocks_of rng 6 512) in
+  Alcotest.(check bool) "verifies" true (Accelfn.Raid.verify s);
+  let tampered = { s with Accelfn.Raid.p = String.map (fun c -> Char.chr (Char.code c lxor 1)) s.Accelfn.Raid.p } in
+  Alcotest.(check bool) "tamper detected" false (Accelfn.Raid.verify tampered)
+
+let opt_data s holes =
+  Array.mapi (fun i b -> if List.mem i holes then None else Some b) s.Accelfn.Raid.data
+
+let test_raid_single_loss_p () =
+  let rng = Trace.Rng.create ~seed:22 in
+  let s = Accelfn.Raid.encode (blocks_of rng 5 256) in
+  match Accelfn.Raid.recover ~data:(opt_data s [ 2 ]) ~p:(Some s.Accelfn.Raid.p) ~q:None with
+  | Ok d -> Alcotest.(check string) "block rebuilt from P" s.Accelfn.Raid.data.(2) d.(2)
+  | Error e -> Alcotest.fail e
+
+let test_raid_single_loss_q () =
+  let rng = Trace.Rng.create ~seed:23 in
+  let s = Accelfn.Raid.encode (blocks_of rng 5 256) in
+  match Accelfn.Raid.recover ~data:(opt_data s [ 3 ]) ~p:None ~q:(Some s.Accelfn.Raid.q) with
+  | Ok d -> Alcotest.(check string) "block rebuilt from Q" s.Accelfn.Raid.data.(3) d.(3)
+  | Error e -> Alcotest.fail e
+
+let test_raid_double_loss () =
+  let rng = Trace.Rng.create ~seed:24 in
+  let s = Accelfn.Raid.encode (blocks_of rng 7 128) in
+  match Accelfn.Raid.recover ~data:(opt_data s [ 1; 5 ]) ~p:(Some s.Accelfn.Raid.p) ~q:(Some s.Accelfn.Raid.q) with
+  | Ok d ->
+    Alcotest.(check string) "block 1" s.Accelfn.Raid.data.(1) d.(1);
+    Alcotest.(check string) "block 5" s.Accelfn.Raid.data.(5) d.(5)
+  | Error e -> Alcotest.fail e
+
+let test_raid_capability_limits () =
+  let rng = Trace.Rng.create ~seed:25 in
+  let s = Accelfn.Raid.encode (blocks_of rng 5 64) in
+  (match Accelfn.Raid.recover ~data:(opt_data s [ 0; 1 ]) ~p:(Some s.Accelfn.Raid.p) ~q:None with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "double loss without Q accepted");
+  (match Accelfn.Raid.recover ~data:(opt_data s [ 0; 1; 2 ]) ~p:(Some s.Accelfn.Raid.p) ~q:(Some s.Accelfn.Raid.q) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "triple loss accepted");
+  match Accelfn.Raid.recover ~data:(opt_data s [ 4 ]) ~p:None ~q:None with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "loss without parity accepted"
+
+let prop_raid_any_two_erasures =
+  QCheck.Test.make ~name:"raid recovers any two data erasures" ~count:100
+    (QCheck.triple (QCheck.int_range 3 8) (QCheck.int_bound 1000) (QCheck.int_bound 1000))
+    (fun (k, x0, y0) ->
+      let x = x0 mod k and y = y0 mod k in
+      if x = y then QCheck.assume_fail ()
+      else begin
+        let rng = Trace.Rng.create ~seed:(x0 + (y0 * 1000) + k) in
+        let s = Accelfn.Raid.encode (blocks_of rng k 64) in
+        let data = Array.mapi (fun i b -> if i = x || i = y then None else Some b) s.Accelfn.Raid.data in
+        match Accelfn.Raid.recover ~data ~p:(Some s.Accelfn.Raid.p) ~q:(Some s.Accelfn.Raid.q) with
+        | Ok d -> d = s.Accelfn.Raid.data
+        | Error _ -> false
+      end)
+
+let suite =
+  [
+    Alcotest.test_case "lz77 roundtrip basics" `Quick test_lz_roundtrip_basic;
+    Alcotest.test_case "lz77 compresses repetition" `Quick test_lz_compresses_repetition;
+    Alcotest.test_case "lz77 overlapping copies" `Quick test_lz_overlapping_copy;
+    Alcotest.test_case "lz77 rejects garbage" `Quick test_lz_rejects_garbage;
+    QCheck_alcotest.to_alcotest prop_lz_roundtrip;
+    QCheck_alcotest.to_alcotest prop_lz_roundtrip_lowentropy;
+    Alcotest.test_case "gf256 field laws" `Quick test_gf_field_laws;
+    Alcotest.test_case "gf256 generator order" `Quick test_gf_generator_order;
+    QCheck_alcotest.to_alcotest prop_gf_mul_commutes_distributes;
+    Alcotest.test_case "raid encode/verify" `Quick test_raid_encode_verify;
+    Alcotest.test_case "raid single loss via P" `Quick test_raid_single_loss_p;
+    Alcotest.test_case "raid single loss via Q" `Quick test_raid_single_loss_q;
+    Alcotest.test_case "raid double loss via P+Q" `Quick test_raid_double_loss;
+    Alcotest.test_case "raid capability limits" `Quick test_raid_capability_limits;
+    QCheck_alcotest.to_alcotest prop_raid_any_two_erasures;
+  ]

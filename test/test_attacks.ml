@@ -1,0 +1,199 @@
+open Nicsim
+
+let check_attack name expect outcome =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %s" name outcome.Attacks.detail)
+    expect outcome.Attacks.succeeded
+
+(* ---------- packet corruption (§3.3 attack 1) ---------- *)
+
+let test_corruption_liquidio_se_s () =
+  check_attack "SE-S corruption" true (Attacks.packet_corruption Machine.Liquidio_se_s)
+
+let test_corruption_agilio () = check_attack "Agilio corruption" true (Attacks.packet_corruption Machine.Agilio)
+
+let test_corruption_se_um_xkphys () =
+  check_attack "SE-UM+xkphys corruption" true
+    (Attacks.packet_corruption (Machine.Liquidio_se_um { nf_xkphys = true }))
+
+let test_corruption_se_um_no_xkphys () =
+  check_attack "SE-UM w/o xkphys corruption blocked" false
+    (Attacks.packet_corruption (Machine.Liquidio_se_um { nf_xkphys = false }))
+
+let test_corruption_bluefield () =
+  (* BlueField's normal-world packet buffers are still writable by other
+     normal-world code; only secure-world state is protected. *)
+  check_attack "BlueField corruption" true (Attacks.packet_corruption Machine.Bluefield)
+
+let test_corruption_snic_blocked () =
+  let o = Attacks.packet_corruption Machine.Snic in
+  check_attack "S-NIC corruption blocked" false o;
+  (* And blocked for the right reason: a denial, not a lucky miss. *)
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "denied by hardware" true (contains o.Attacks.detail "denied")
+
+(* ---------- DPI ruleset stealing (§3.3 attack 2) ---------- *)
+
+let test_stealing_liquidio_se_s () =
+  check_attack "SE-S stealing" true (Attacks.ruleset_stealing Machine.Liquidio_se_s)
+
+let test_stealing_agilio () = check_attack "Agilio stealing" true (Attacks.ruleset_stealing Machine.Agilio)
+
+let test_stealing_bluefield_blocked () =
+  (* The DPI ruleset lives in secure-world memory: TrustZone stops the
+     normal-world attacker (but not the NIC OS — see below). *)
+  check_attack "BlueField stealing blocked" false (Attacks.ruleset_stealing Machine.Bluefield)
+
+let test_stealing_snic_blocked () =
+  check_attack "S-NIC stealing blocked" false (Attacks.ruleset_stealing Machine.Snic)
+
+(* BlueField's residual weakness: the secure-world NIC OS reads NF state
+   freely; S-NIC's denylist stops even the OS. *)
+let test_os_snooping_bluefield_vs_snic () =
+  let snoop mode =
+    let s = Attacks.Scenario.setup mode in
+    Result.is_ok (Machine.load_u8 s.Attacks.Scenario.machine Machine.Os (Machine.Phys s.Attacks.Scenario.victim_mem))
+  in
+  Alcotest.(check bool) "BlueField OS snoops" true (snoop Machine.Bluefield);
+  Alcotest.(check bool) "S-NIC OS repelled" false (snoop Machine.Snic)
+
+(* ---------- IO bus DoS (§3.3 attack 3) ---------- *)
+
+let test_dos_free_for_all () =
+  let r = Attacks.bus_dos Bus.Free_for_all in
+  Alcotest.(check bool)
+    (Printf.sprintf "free-for-all collapses throughput (retained %.1f%%)" (100. *. r.Attacks.retained))
+    true
+    (r.Attacks.retained < 0.35);
+  Alcotest.(check bool) "alone rate sane" true (r.Attacks.alone_pps > 0.)
+
+let test_dos_temporal_partitioning () =
+  let r = Attacks.bus_dos (Bus.Temporal { epoch = 96; dead = 16 }) in
+  Alcotest.(check bool)
+    (Printf.sprintf "temporal partitioning preserves throughput (retained %.1f%%)" (100. *. r.Attacks.retained))
+    true
+    (r.Attacks.retained > 0.95)
+
+let test_dos_temporal_costs_some_baseline () =
+  (* The price of determinism: the victim alone is slower under temporal
+     partitioning than under free-for-all (it must wait for its slots). *)
+  let ffa = Attacks.bus_dos Bus.Free_for_all in
+  let tp = Attacks.bus_dos (Bus.Temporal { epoch = 96; dead = 16 }) in
+  Alcotest.(check bool) "temporal alone slower than FFA alone" true (tp.Attacks.alone_pps < ffa.Attacks.alone_pps);
+  Alcotest.(check bool) "but temporal under attack beats FFA under attack" true
+    (tp.Attacks.under_attack_pps > ffa.Attacks.under_attack_pps)
+
+(* ---------- the full matrix ---------- *)
+
+let test_matrix_shape () =
+  let m = Attacks.matrix () in
+  Alcotest.(check int) "six modes" 6 (List.length m);
+  (* S-NIC is the only mode where both attacks are blocked...
+     except SE-UM without xkphys, which blocks both at the ISA level but
+     (unlike S-NIC) leaves the OS omnipotent and side channels open. *)
+  List.iter
+    (fun (name, corr, steal) ->
+      if name = "S-NIC" then begin
+        Alcotest.(check bool) "snic corr blocked" false corr.Attacks.succeeded;
+        Alcotest.(check bool) "snic steal blocked" false steal.Attacks.succeeded
+      end;
+      if name = "LiquidIO SE-S" || name = "Agilio" then begin
+        Alcotest.(check bool) (name ^ " corr works") true corr.Attacks.succeeded;
+        Alcotest.(check bool) (name ^ " steal works") true steal.Attacks.succeeded
+      end)
+    m
+
+let suite =
+  [
+    Alcotest.test_case "corruption: LiquidIO SE-S" `Quick test_corruption_liquidio_se_s;
+    Alcotest.test_case "corruption: Agilio" `Quick test_corruption_agilio;
+    Alcotest.test_case "corruption: SE-UM + xkphys" `Quick test_corruption_se_um_xkphys;
+    Alcotest.test_case "corruption: SE-UM w/o xkphys" `Quick test_corruption_se_um_no_xkphys;
+    Alcotest.test_case "corruption: BlueField" `Quick test_corruption_bluefield;
+    Alcotest.test_case "corruption: S-NIC blocked" `Quick test_corruption_snic_blocked;
+    Alcotest.test_case "stealing: LiquidIO SE-S" `Quick test_stealing_liquidio_se_s;
+    Alcotest.test_case "stealing: Agilio" `Quick test_stealing_agilio;
+    Alcotest.test_case "stealing: BlueField blocked" `Quick test_stealing_bluefield_blocked;
+    Alcotest.test_case "stealing: S-NIC blocked" `Quick test_stealing_snic_blocked;
+    Alcotest.test_case "OS snooping: BlueField vs S-NIC" `Quick test_os_snooping_bluefield_vs_snic;
+    Alcotest.test_case "bus DoS: free-for-all collapses" `Quick test_dos_free_for_all;
+    Alcotest.test_case "bus DoS: temporal partitioning holds" `Quick test_dos_temporal_partitioning;
+    Alcotest.test_case "bus DoS: partitioning tradeoff" `Quick test_dos_temporal_costs_some_baseline;
+    Alcotest.test_case "attack matrix" `Quick test_matrix_shape;
+  ]
+
+(* ---------- timing side channels ---------- *)
+
+let test_covert_channel_ffa () =
+  let r = Attacks.bus_covert_channel Bus.Free_for_all in
+  Alcotest.(check bool)
+    (Printf.sprintf "free-for-all bus leaks bits (%.0f%%)" (100. *. r.Attacks.accuracy))
+    true
+    (r.Attacks.accuracy > 0.9)
+
+let test_covert_channel_temporal () =
+  let r = Attacks.bus_covert_channel (Bus.Temporal { epoch = 96; dead = 16 }) in
+  Alcotest.(check bool)
+    (Printf.sprintf "temporal partitioning jams the channel (%.0f%%)" (100. *. r.Attacks.accuracy))
+    true
+    (r.Attacks.accuracy < 0.7)
+
+let test_accel_contention () =
+  let shared = Attacks.accel_contention ~shared:true in
+  Alcotest.(check bool)
+    (Printf.sprintf "shared accelerator leaks (idle %d vs busy %d)" shared.Attacks.idle_latency
+       shared.Attacks.busy_latency)
+    true shared.Attacks.distinguishable;
+  let clustered = Attacks.accel_contention ~shared:false in
+  Alcotest.(check bool) "dedicated cluster is flat" false clustered.Attacks.distinguishable;
+  Alcotest.(check int) "identical idle latency" shared.Attacks.idle_latency clustered.Attacks.idle_latency
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "covert channel: free-for-all leaks" `Quick test_covert_channel_ffa;
+      Alcotest.test_case "covert channel: temporal jams" `Quick test_covert_channel_temporal;
+      Alcotest.test_case "accelerator contention probe" `Quick test_accel_contention;
+    ]
+
+(* ---------- SafeBricks vs S-NIC deployment (§1 motivation) ---------- *)
+
+let test_safebricks_weakness () =
+  let sb = Attacks.Safebricks.safebricks_deployment () in
+  Alcotest.(check bool) "kernel reads staged packets" true sb.Attacks.Safebricks.kernel_saw_plaintext;
+  Alcotest.(check bool) "kernel tampering reaches enclave input" true sb.Attacks.Safebricks.kernel_tampered_input;
+  Alcotest.(check bool) "DMA into EPC impossible" false sb.Attacks.Safebricks.dma_into_protected_memory
+
+let test_snic_deployment_strength () =
+  let sn = Attacks.Safebricks.snic_deployment () in
+  Alcotest.(check bool) "kernel cannot read packets" false sn.Attacks.Safebricks.kernel_saw_plaintext;
+  Alcotest.(check bool) "kernel cannot tamper input" false sn.Attacks.Safebricks.kernel_tampered_input;
+  Alcotest.(check bool) "no unsanctioned DMA" false sn.Attacks.Safebricks.dma_into_protected_memory
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "safebricks deployment weaknesses" `Quick test_safebricks_weakness;
+      Alcotest.test_case "s-nic deployment strengths" `Quick test_snic_deployment_strength;
+    ]
+
+(* ---------- accelerator hijacking (§4.3) ---------- *)
+
+let test_accel_hijack_matrix () =
+  List.iter
+    (fun (mode, expect) ->
+      check_attack (Machine.mode_name mode ^ " accel hijack") expect (Attacks.accel_hijack mode))
+    [
+      (Machine.Liquidio_se_s, true);
+      (Machine.Liquidio_se_um { nf_xkphys = true }, true);
+      (Machine.Liquidio_se_um { nf_xkphys = false }, false);
+      (Machine.Agilio, true);
+      (Machine.Bluefield, false) (* secure-only accelerator *);
+      (Machine.Snic, false);
+    ]
+
+let suite = suite @ [ Alcotest.test_case "accelerator hijacking matrix" `Quick test_accel_hijack_matrix ]

@@ -1,0 +1,187 @@
+let close ?(tol = 0.02) msg expected actual =
+  (* Relative tolerance; paper tables are rounded to 3 decimals. *)
+  let ok = Float.abs (expected -. actual) <= Float.max (tol *. Float.abs expected) 0.002 in
+  Alcotest.(check bool) (Printf.sprintf "%s: expected %.4f, got %.4f" msg expected actual) true ok
+
+(* ---------- Tlb_cost (Table 2 anchors) ---------- *)
+
+let test_tlb_cost_table2_anchors () =
+  (* 4-core columns of Table 2. *)
+  close "183 entries, 4 cores, area" 0.045 (4. *. Costmodel.Tlb_cost.area_mm2 183);
+  close "256 entries, 4 cores, area" 0.060 (4. *. Costmodel.Tlb_cost.area_mm2 256);
+  close "512 entries, 4 cores, area" 0.163 (4. *. Costmodel.Tlb_cost.area_mm2 512);
+  close "183 entries, 4 cores, power" 0.026 (4. *. Costmodel.Tlb_cost.power_w 183);
+  close "512 entries, 4 cores, power" 0.088 (4. *. Costmodel.Tlb_cost.power_w 512);
+  (* 48-core column. *)
+  close "183 x48 area" 0.538 (48. *. Costmodel.Tlb_cost.area_mm2 183);
+  close "512 x48 power" 1.052 (48. *. Costmodel.Tlb_cost.power_w 512)
+
+let test_tlb_cost_table3_anchors () =
+  (* Accelerator TLB banks, 16 clusters (Table 3 row 1). *)
+  close "DPI 54-entry x16 area" 0.074 (16. *. Costmodel.Tlb_cost.area_mm2 54);
+  close "ZIP 70-entry x16 area" 0.091 (16. *. Costmodel.Tlb_cost.area_mm2 70);
+  close "RAID 5-entry x16 area" 0.050 (16. *. Costmodel.Tlb_cost.area_mm2 5);
+  close "DPI 54-entry x16 power" 0.037 (16. *. Costmodel.Tlb_cost.power_w 54);
+  (* Halving cluster count halves the cost (Table 3 rows 2-3). *)
+  close "DPI x8" 0.037 (8. *. Costmodel.Tlb_cost.area_mm2 54);
+  close "DPI x4" 0.019 (4. *. Costmodel.Tlb_cost.area_mm2 54) ~tol:0.05
+
+let test_tlb_cost_table4_anchors () =
+  close "VPP 3-entry x12 area" 0.037 (12. *. Costmodel.Tlb_cost.area_mm2 3);
+  close "DMA 2-entry x12 area" 0.037 (12. *. Costmodel.Tlb_cost.area_mm2 2);
+  close "VPP x12 power" 0.017 (12. *. Costmodel.Tlb_cost.power_w 3);
+  (* McPAT quirk preserved: 2 and 3 entries cost the same. *)
+  close "2 = 3 entries" (Costmodel.Tlb_cost.area_mm2 2) (Costmodel.Tlb_cost.area_mm2 3)
+
+let test_tlb_cost_monotone () =
+  let rec go prev = function
+    | [] -> ()
+    | e :: rest ->
+      let a = Costmodel.Tlb_cost.area_mm2 e in
+      Alcotest.(check bool) (Printf.sprintf "monotone at %d" e) true (a >= prev);
+      go a rest
+  in
+  go 0. [ 1; 2; 4; 8; 16; 32; 64; 128; 183; 256; 384; 512; 1024 ]
+
+let test_tlb_cost_interpolation_sane () =
+  (* Between anchors the value is between the anchor values. *)
+  let a100 = Costmodel.Tlb_cost.area_mm2 100 in
+  Alcotest.(check bool) "100 between 70 and 183" true
+    (a100 >= Costmodel.Tlb_cost.area_mm2 70 && a100 <= Costmodel.Tlb_cost.area_mm2 183);
+  (* Extrapolation beyond 512 keeps growing superlinearly. *)
+  Alcotest.(check bool) "1024 > 2x 512" true
+    (Costmodel.Tlb_cost.area_mm2 1024 > 2. *. Costmodel.Tlb_cost.area_mm2 512)
+
+(* ---------- Page packing (Tables 5-7 derivations) ---------- *)
+
+let mb = Costmodel.Page_packing.mb
+
+let test_packing_equal_2mb () =
+  let entries r = Costmodel.Page_packing.entries ~page_sizes:Costmodel.Page_packing.equal_2mb r in
+  (* Mon (Table 6): 0.85 / 0.05 / 2.48 / 357.15 -> 183 entries. *)
+  Alcotest.(check int) "Mon Equal" 183 (entries [ mb 0.85; mb 0.05; mb 2.48; mb 357.15 ]);
+  (* FW: 11. *)
+  Alcotest.(check int) "FW Equal" 11 (entries [ mb 0.87; mb 0.08; mb 2.50; mb 13.75 ]);
+  (* LPM: 37. *)
+  Alcotest.(check int) "LPM Equal" 37 (entries [ mb 0.86; mb 0.06; mb 2.51; mb 64.90 ])
+
+let test_packing_flex_high () =
+  let entries r = Costmodel.Page_packing.entries ~page_sizes:Costmodel.Page_packing.flex_high r in
+  Alcotest.(check int) "FW Flex-high" 11 (entries [ mb 0.87; mb 0.08; mb 2.50; mb 13.75 ]);
+  Alcotest.(check int) "DPI Flex-high" 13 (entries [ mb 1.34; mb 0.56; mb 2.59; mb 46.65 ]);
+  Alcotest.(check int) "NAT Flex-high" 10 (entries [ mb 0.86; mb 0.05; mb 2.49; mb 40.48 ]);
+  Alcotest.(check int) "LB Flex-high" 10 (entries [ mb 0.86; mb 0.05; mb 2.49; mb 10.40 ]);
+  Alcotest.(check int) "LPM Flex-high" 7 (entries [ mb 0.86; mb 0.06; mb 2.51; mb 64.90 ]);
+  Alcotest.(check int) "Mon Flex-high" 12 (entries [ mb 0.85; mb 0.05; mb 2.48; mb 357.15 ])
+
+let test_packing_flex_low () =
+  let entries r = Costmodel.Page_packing.entries ~page_sizes:Costmodel.Page_packing.flex_low r in
+  Alcotest.(check int) "DPI Flex-low" 51 (entries [ mb 1.34; mb 0.56; mb 2.59; mb 46.65 ]);
+  Alcotest.(check int) "NAT Flex-low" 37 (entries [ mb 0.86; mb 0.05; mb 2.49; mb 40.48 ]);
+  Alcotest.(check int) "LB Flex-low" 22 (entries [ mb 0.86; mb 0.05; mb 2.49; mb 10.40 ]);
+  Alcotest.(check int) "LPM Flex-low" 23 (entries [ mb 0.86; mb 0.06; mb 2.51; mb 64.90 ]);
+  Alcotest.(check int) "Mon Flex-low" 46 (entries [ mb 0.85; mb 0.05; mb 2.48; mb 357.15 ])
+
+let test_packing_waste () =
+  (* Flexible small pages waste less memory than 2MB-only. *)
+  let regions = [ mb 0.87; mb 0.08; mb 2.50; mb 13.75 ] in
+  let w_equal = Costmodel.Page_packing.waste ~page_sizes:Costmodel.Page_packing.equal_2mb regions in
+  let w_flex = Costmodel.Page_packing.waste ~page_sizes:Costmodel.Page_packing.flex_low regions in
+  Alcotest.(check bool) "flex wastes less" true (w_flex < w_equal);
+  Alcotest.(check int) "zero-size region costs nothing" 0
+    (Costmodel.Page_packing.entries_for_region ~page_sizes:Costmodel.Page_packing.equal_2mb 0)
+
+let test_packing_validation () =
+  Alcotest.check_raises "non-dividing sizes" (Invalid_argument "Page_packing: page sizes must divide each other")
+    (fun () -> ignore (Costmodel.Page_packing.entries ~page_sizes:[ 3000; 7000 ] [ 1 ]))
+
+(* ---------- Overhead (the 8.89% / 11.45% headline) ---------- *)
+
+let test_overhead_headline () =
+  let b = Costmodel.Overhead.compute Costmodel.Overhead.headline in
+  close ~tol:0.03 "area overhead pct" 8.89 b.Costmodel.Overhead.area_overhead_pct;
+  close ~tol:0.03 "power overhead pct" 11.45 b.Costmodel.Overhead.power_overhead_pct;
+  (* Components match the paper's per-table numbers. *)
+  close "core TLB area" 0.163 b.Costmodel.Overhead.core_area;
+  close "accel TLB area" 0.215 b.Costmodel.Overhead.accel_area;
+  close "io TLB area" 0.074 b.Costmodel.Overhead.io_area
+
+(* ---------- TCO (§5.2) ---------- *)
+
+let test_tco_paper_numbers () =
+  close ~tol:0.005 "LiquidIO $/core" 38.97 (Costmodel.Tco.tco_per_core Costmodel.Tco.liquidio);
+  close ~tol:0.005 "Host $/core" 163.56 (Costmodel.Tco.tco_per_core Costmodel.Tco.host_xeon);
+  let s = Costmodel.Tco.summary () in
+  close ~tol:0.005 "S-NIC $/core" 42.53 s.Costmodel.Tco.snic_tco;
+  close ~tol:0.01 "advantage reduction" 8.37 s.Costmodel.Tco.advantage_reduction_pct;
+  close ~tol:0.01 "preserved" 91.63 s.Costmodel.Tco.preserved_pct
+
+let test_tco_sensitivity () =
+  (* More silicon overhead monotonically erodes the advantage. *)
+  let a = Costmodel.Tco.summary ~area_overhead_pct:2. ~power_overhead_pct:2. () in
+  let b = Costmodel.Tco.summary ~area_overhead_pct:20. ~power_overhead_pct:20. () in
+  Alcotest.(check bool) "monotone" true
+    (a.Costmodel.Tco.advantage_reduction_pct < b.Costmodel.Tco.advantage_reduction_pct);
+  (* Zero overhead: zero reduction. *)
+  let z = Costmodel.Tco.summary ~area_overhead_pct:0. ~power_overhead_pct:0. () in
+  close "zero overhead" 0.0 z.Costmodel.Tco.advantage_reduction_pct
+
+let suite =
+  [
+    Alcotest.test_case "tlb cost: table 2 anchors" `Quick test_tlb_cost_table2_anchors;
+    Alcotest.test_case "tlb cost: table 3 anchors" `Quick test_tlb_cost_table3_anchors;
+    Alcotest.test_case "tlb cost: table 4 anchors" `Quick test_tlb_cost_table4_anchors;
+    Alcotest.test_case "tlb cost: monotone" `Quick test_tlb_cost_monotone;
+    Alcotest.test_case "tlb cost: interpolation" `Quick test_tlb_cost_interpolation_sane;
+    Alcotest.test_case "packing: Equal 2MB" `Quick test_packing_equal_2mb;
+    Alcotest.test_case "packing: Flex-high" `Quick test_packing_flex_high;
+    Alcotest.test_case "packing: Flex-low" `Quick test_packing_flex_low;
+    Alcotest.test_case "packing: waste ordering" `Quick test_packing_waste;
+    Alcotest.test_case "packing: validation" `Quick test_packing_validation;
+    Alcotest.test_case "overhead headline" `Quick test_overhead_headline;
+    Alcotest.test_case "tco paper numbers" `Quick test_tco_paper_numbers;
+    Alcotest.test_case "tco sensitivity" `Quick test_tco_sensitivity;
+  ]
+
+let test_offload_motivation () =
+  match Costmodel.Offload.comparison () with
+  | [ host; nic; snic ] ->
+    (* Offloading removes the PCIe round trip: lower latency despite the
+       slower core. *)
+    Alcotest.(check bool) "NIC latency < host latency" true
+      (nic.Costmodel.Offload.latency_ns < host.Costmodel.Offload.latency_ns);
+    (* The host core is faster per packet in raw throughput... *)
+    Alcotest.(check bool) "host core faster" true
+      (host.Costmodel.Offload.kpps_per_core > nic.Costmodel.Offload.kpps_per_core);
+    (* ...but the NIC wins on cost per capacity, and S-NIC keeps most of
+       that advantage (the abstract's claim). *)
+    Alcotest.(check bool) "NIC cheaper per Mpps" true
+      (nic.Costmodel.Offload.usd_per_mpps < 0.6 *. host.Costmodel.Offload.usd_per_mpps);
+    let benefit d = host.Costmodel.Offload.usd_per_mpps -. d.Costmodel.Offload.usd_per_mpps in
+    Alcotest.(check bool) "S-NIC preserves ~90% of the benefit" true (benefit snic > 0.85 *. benefit nic);
+    (* S-NIC throughput within 1.7% of the plain NIC. *)
+    Alcotest.(check bool) "isolation tax <= 1.7%" true
+      (snic.Costmodel.Offload.kpps_per_core > 0.983 *. nic.Costmodel.Offload.kpps_per_core)
+  | _ -> Alcotest.fail "expected three deployments"
+
+let suite = suite @ [ Alcotest.test_case "offload motivation" `Quick test_offload_motivation ]
+
+let test_tables_module () =
+  let t2 = Costmodel.Tables.table2 () in
+  Alcotest.(check int) "table2 rows" 12 (List.length t2);
+  let r = Costmodel.Tables.find t2 ~label:"366MB/core" ~units:4 in
+  close "t2 area" 0.045 r.Costmodel.Tables.area_mm2;
+  close "t2 power" 0.026 r.Costmodel.Tables.power_w;
+  Alcotest.(check int) "183 entries" 183 r.Costmodel.Tables.entries;
+  let t3 = Costmodel.Tables.table3 () in
+  Alcotest.(check int) "table3 rows" 9 (List.length t3);
+  close "DPI x16" 0.074 (Costmodel.Tables.find t3 ~label:"DPI" ~units:16).Costmodel.Tables.area_mm2;
+  let t4 = Costmodel.Tables.table4 () in
+  Alcotest.(check int) "table4 rows" 6 (List.length t4);
+  close "VPP x12" 0.037 (Costmodel.Tables.find t4 ~label:"VPP" ~units:12).Costmodel.Tables.area_mm2;
+  let t5 = Costmodel.Tables.table5_row ~label:"Equal" ~entries:183 ~cores:48 in
+  close "t5 area" 0.538 t5.Costmodel.Tables.area_mm2;
+  Alcotest.check_raises "find misses" (Invalid_argument "Tables.find: no row nope x1") (fun () ->
+      ignore (Costmodel.Tables.find t2 ~label:"nope" ~units:1))
+
+let suite = suite @ [ Alcotest.test_case "tables module" `Quick test_tables_module ]

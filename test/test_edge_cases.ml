@@ -1,0 +1,184 @@
+(* Edge cases and smaller behaviours across all the substrates, beyond
+   each module's core suite. *)
+
+open Nicsim
+
+let ip = Net.Ipv4_addr.of_string
+
+(* ---------- maglev churn ---------- *)
+
+let test_maglev_add_backend () =
+  let lb = Nf.Maglev.create ~table_size:4099 (Nf.Rulegen.backends ~n:7) in
+  let lb8 = Nf.Maglev.add lb "backend-777" in
+  Alcotest.(check int) "eight backends" 8 (List.length (Nf.Maglev.backends lb8));
+  (* The new backend gets roughly its fair share of slots. *)
+  let share = List.assoc "backend-777" (Nf.Maglev.load lb8) in
+  Alcotest.(check bool) (Printf.sprintf "fair share (%d)" share) true (abs (share - (4099 / 8)) < 4099 / 40);
+  (* Adding it disrupts about 1/8 of slots, not more. *)
+  let d = Nf.Maglev.disruption lb lb8 in
+  Alcotest.(check bool) (Printf.sprintf "add disruption %.3f" d) true (d < 0.25)
+
+(* ---------- LPM default route ---------- *)
+
+let test_lpm_default_route () =
+  let t = Nf.Lpm.create () in
+  Nf.Lpm.insert t ~prefix:0 ~len:0 99;
+  Nf.Lpm.insert t ~prefix:(ip "10.0.0.0") ~len:8 1;
+  Alcotest.(check (option int)) "default catches" (Some 99) (Nf.Lpm.lookup t (ip "200.1.2.3"));
+  Alcotest.(check (option int)) "specific wins" (Some 1) (Nf.Lpm.lookup t (ip "10.1.2.3"))
+
+let test_lpm_overwrite_same_prefix () =
+  let t = Nf.Lpm.create () in
+  Nf.Lpm.insert t ~prefix:(ip "10.0.0.0") ~len:8 1;
+  Nf.Lpm.insert t ~prefix:(ip "10.0.0.0") ~len:8 2;
+  Alcotest.(check (option int)) "last write wins" (Some 2) (Nf.Lpm.lookup t (ip "10.1.2.3"))
+
+(* ---------- bus accounting ---------- *)
+
+let test_bus_stats_accounting () =
+  let bus = Bus.create ~policy:Bus.Free_for_all ~clients:2 in
+  for _ = 1 to 10 do
+    ignore (Bus.request bus ~client:0 ~now:0 ~cost:5)
+  done;
+  let s = Bus.stats bus ~client:0 in
+  Alcotest.(check int) "ops" 10 s.Bus.ops;
+  Alcotest.(check int) "busy cycles" 50 s.Bus.busy_cycles;
+  (* All issued at now=0 against a FCFS queue: total waiting is
+     0+5+10+...+45. *)
+  Alcotest.(check int) "wait cycles" 225 s.Bus.wait_cycles;
+  Alcotest.check_raises "bad client" (Invalid_argument "Bus.request: bad client") (fun () ->
+      ignore (Bus.request bus ~client:7 ~now:0 ~cost:1));
+  Alcotest.check_raises "bad cost" (Invalid_argument "Bus.request: cost must be positive") (fun () ->
+      ignore (Bus.request bus ~client:0 ~now:0 ~cost:0))
+
+(* ---------- physmem runs ---------- *)
+
+let test_physmem_owned_runs () =
+  let m = Physmem.create ~size:(1 lsl 20) in
+  let p = Physmem.page_size in
+  Physmem.set_owner m ~pos:0 ~len:p (Physmem.Nf 1);
+  Physmem.set_owner m ~pos:(2 * p) ~len:(2 * p) (Physmem.Nf 1);
+  (match Physmem.owned_ranges m (Physmem.Nf 1) with
+  | [ (0, a); (b, c) ] ->
+    Alcotest.(check int) "first run" p a;
+    Alcotest.(check int) "second start" (2 * p) b;
+    Alcotest.(check int) "second len" (2 * p) c
+  | l -> Alcotest.failf "expected two runs, got %d" (List.length l));
+  Physmem.set_owner m ~pos:p ~len:p (Physmem.Nf 1);
+  match Physmem.owned_ranges m (Physmem.Nf 1) with
+  | [ (0, len) ] -> Alcotest.(check int) "coalesced" (4 * p) len
+  | l -> Alcotest.failf "expected one run, got %d" (List.length l)
+
+(* ---------- identity reboot ---------- *)
+
+let test_identity_reboot_rotates_ak () =
+  let vendor = Snic.Identity.make_vendor ~seed:55 ~name:"V" () in
+  let id = Snic.Identity.manufacture ~seed:56 vendor ~serial:"r1" in
+  let ak1 = Snic.Identity.ak_public id in
+  let endorsement1 = Snic.Identity.ak_endorsement id in
+  Snic.Identity.reboot id;
+  let ak2 = Snic.Identity.ak_public id in
+  Alcotest.(check bool) "fresh AK" false (Crypto.Rsa.public_to_string ak1 = Crypto.Rsa.public_to_string ak2);
+  (* Old and new endorsements both chain to the same EK. *)
+  let check ak e =
+    Snic.Identity.check_ak_chain
+      ~vendor_public:(Snic.Identity.vendor_public vendor)
+      ~ek_cert:(Snic.Identity.ek_certificate id) ~ak ~endorsement:e
+  in
+  Alcotest.(check bool) "old chain still verifies" true (check ak1 endorsement1);
+  Alcotest.(check bool) "new chain verifies" true (check ak2 (Snic.Identity.ak_endorsement id));
+  (* But the old endorsement does not cover the new AK. *)
+  Alcotest.(check bool) "cross endorsement fails" false (check ak2 endorsement1)
+
+(* ---------- api without rules ---------- *)
+
+let test_inject_without_rules_drops () =
+  let api = Snic.Api.boot () in
+  let _ = Result.get_ok (Snic.Api.nf_create api { Snic.Instructions.default_config with image = "quiet" }) in
+  match Snic.Api.inject_packet api (Net.Packet.make ~src_ip:1 ~dst_ip:2 ~proto:Net.Packet.Udp ~src_port:1 ~dst_port:2 "x") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "packet matched with no rules installed"
+
+(* ---------- tlb map_region entry economy ---------- *)
+
+let test_map_region_entry_counts () =
+  (* A naturally aligned 1 MB region needs exactly one entry... *)
+  let t1 = Tlb.create () in
+  Alcotest.(check int) "aligned region: 1 entry" 1
+    (Tlb.map_region t1 ~vbase:0x10000000 ~pbase:0x20000000 ~len:(1 lsl 20) ~writable:true);
+  (* ...and a 4 KB-aligned one decomposes into a short ladder, not 256
+     pages — provided the virtual base is congruent to the physical one
+     (which is how nf_launch chooses it; with incongruent bases no
+     hardware could use large pages at all). *)
+  let t2 = Tlb.create () in
+  let n = Tlb.map_region t2 ~vbase:0x10001000 ~pbase:0x20001000 ~len:(1 lsl 20) ~writable:true in
+  Alcotest.(check bool) (Printf.sprintf "ladder is short (%d)" n) true (n <= 24);
+  Alcotest.(check int) "covers everything" (1 lsl 20) (Tlb.mapped_bytes t2);
+  (* Every byte translates correctly. *)
+  List.iter
+    (fun off ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "off %#x" off)
+        (Some (0x20001000 + off))
+        (Tlb.translate t2 ~vaddr:(0x10001000 + off) ~access:Tlb.Read))
+    [ 0; 4095; 4096; 65535; (1 lsl 20) - 1 ]
+
+(* ---------- registry at paper scale ---------- *)
+
+let test_registry_paper_parameters () =
+  Alcotest.(check int) "FW rules" 643 (Nf.Registry.fw_rules ~scale:1.0);
+  Alcotest.(check int) "DPI patterns" 33_471 (Nf.Registry.dpi_patterns ~scale:1.0);
+  Alcotest.(check int) "LPM routes" 16_000 (Nf.Registry.lpm_routes ~scale:1.0);
+  Alcotest.(check int) "scaled down" 643 (Nf.Registry.fw_rules ~scale:1.0)
+
+(* ---------- sched: WFQ starvation-freedom ---------- *)
+
+let test_wfq_no_starvation () =
+  let s = Sched.create Sched.Wfq in
+  (* A heavy flow and a light flow: the light flow still gets served
+     within a bounded horizon. *)
+  for i = 0 to 99 do
+    Sched.enqueue s { Sched.flow = 0; bytes = 1000; level = 0; weight = 1 } (`Heavy i)
+  done;
+  Sched.enqueue s { Sched.flow = 1; bytes = 100; level = 0; weight = 1 } `Light;
+  let rec position i =
+    match Sched.dequeue s with
+    | Some `Light -> i
+    | Some (`Heavy _) -> position (i + 1)
+    | None -> Alcotest.fail "ran dry"
+  in
+  let pos = position 0 in
+  Alcotest.(check bool) (Printf.sprintf "light served at %d" pos) true (pos <= 2)
+
+(* ---------- vnic: tx of an oversized rewrite ---------- *)
+
+let test_vnic_oversized_tx () =
+  let api = Snic.Api.boot () in
+  let v =
+    Result.get_ok
+      (Snic.Api.nf_create api { Snic.Instructions.default_config with image = "big"; rules = [ Pktio.match_any ] })
+  in
+  ignore (Snic.Api.inject_packet api (Net.Packet.make ~src_ip:1 ~dst_ip:2 ~proto:Net.Packet.Udp ~src_port:1 ~dst_port:2 "s"));
+  match Snic.Vnic.rx_packet v with
+  | Ok (Some (pkt, buffer)) -> begin
+    let huge = { pkt with Net.Packet.payload = String.make 8192 'x' } in
+    match Snic.Vnic.tx_packet v ~buffer huge with
+    | Error _ -> Snic.Vnic.drop v ~buffer
+    | Ok () -> Alcotest.fail "frame larger than the buffer page accepted"
+  end
+  | _ -> Alcotest.fail "no packet"
+
+let suite =
+  [
+    Alcotest.test_case "maglev add backend" `Quick test_maglev_add_backend;
+    Alcotest.test_case "lpm default route" `Quick test_lpm_default_route;
+    Alcotest.test_case "lpm overwrite" `Quick test_lpm_overwrite_same_prefix;
+    Alcotest.test_case "bus stats accounting" `Quick test_bus_stats_accounting;
+    Alcotest.test_case "physmem owned runs" `Quick test_physmem_owned_runs;
+    Alcotest.test_case "identity reboot" `Slow test_identity_reboot_rotates_ak;
+    Alcotest.test_case "inject without rules" `Quick test_inject_without_rules_drops;
+    Alcotest.test_case "map_region entry economy" `Quick test_map_region_entry_counts;
+    Alcotest.test_case "registry paper parameters" `Quick test_registry_paper_parameters;
+    Alcotest.test_case "wfq no starvation" `Quick test_wfq_no_starvation;
+    Alcotest.test_case "vnic oversized tx" `Quick test_vnic_oversized_tx;
+  ]

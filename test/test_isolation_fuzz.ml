@@ -1,0 +1,173 @@
+(* Randomized model checking of S-NIC's central invariant: across any
+   interleaving of launches, teardowns, packet deliveries and memory
+   accesses, no principal ever reads or writes a byte owned by someone
+   else, and secrets written by one function are never observable by
+   another — even after the first function is gone (teardown scrubs). *)
+
+open Nicsim
+
+let secret_of id = Printf.sprintf "secret-of-nf-%d-%08x" id (id * 0x9E3779)
+
+(* One fuzz run: a scripted random interleaving driven by [seed]. *)
+let fuzz_run seed =
+  let rng = Trace.Rng.create ~seed in
+  let api = Snic.Api.boot () in
+  let m = Snic.Api.machine api in
+  let live : (int, Snic.Vnic.t) Hashtbl.t = Hashtbl.create 8 in
+  let launches = ref 0 and teardowns = ref 0 and denials = ref 0 in
+  let check_isolation () =
+    (* Every pair of live functions: A cannot read B's memory; the OS can
+       read neither; each can read its own. *)
+    Hashtbl.iter
+      (fun id_a vnic_a ->
+        let h_a = Snic.Vnic.handle vnic_a in
+        (match Snic.Vnic.read_phys vnic_a ~paddr:h_a.Snic.Instructions.mem_base ~len:24 with
+        | Ok s ->
+          if not (String.equal s (String.sub (secret_of id_a ^ String.make 24 '\000') 0 24)) then
+            Alcotest.failf "NF %d cannot read back its own secret" id_a
+        | Error f -> Alcotest.failf "NF %d denied its own memory: %s" id_a (Machine.fault_to_string f));
+        (match Machine.load_u8 m Machine.Os (Machine.Phys h_a.Snic.Instructions.mem_base) with
+        | Error _ -> incr denials
+        | Ok _ -> Alcotest.failf "OS read NF %d's memory" id_a);
+        Hashtbl.iter
+          (fun id_b vnic_b ->
+            if id_a <> id_b then begin
+              let h_b = Snic.Vnic.handle vnic_b in
+              match Snic.Vnic.read_phys vnic_a ~paddr:h_b.Snic.Instructions.mem_base ~len:8 with
+              | Error _ -> incr denials
+              | Ok _ -> Alcotest.failf "NF %d read NF %d's memory" id_a id_b
+            end)
+          live)
+      live
+  in
+  for _step = 1 to 60 do
+    match Trace.Rng.int rng 5 with
+    | 0 | 1 -> begin
+      (* Launch a new function with a random shape (if resources allow). *)
+      let config =
+        {
+          Snic.Instructions.default_config with
+          image = "fuzz-image";
+          memory_bytes = (1 + Trace.Rng.int rng 4) * 64 * 1024;
+          rules = (if Trace.Rng.bool rng then [ Pktio.match_any ] else []);
+          accels = (if Trace.Rng.int rng 3 = 0 then [ (Accel.Dpi, 1) ] else []);
+          rx_bytes = 16 * 1024;
+          tx_bytes = 16 * 1024;
+        }
+      in
+      match Snic.Api.nf_create api config with
+      | Ok vnic ->
+        incr launches;
+        let id = Snic.Vnic.id vnic in
+        (* The function writes a recognizable secret into its RAM. *)
+        (match Snic.Vnic.write_virt vnic ~vaddr:0x10000000 (secret_of id) with
+        | Ok () -> ()
+        | Error f -> Alcotest.failf "fresh NF cannot write its memory: %s" (Machine.fault_to_string f));
+        Hashtbl.replace live id vnic
+      | Error _ -> () (* resource exhaustion is legitimate *)
+    end
+    | 2 -> begin
+      (* Tear down a random live function and verify the scrub: its
+         secret must not be visible to the OS afterwards. *)
+      let ids = Hashtbl.fold (fun id _ acc -> id :: acc) live [] in
+      match ids with
+      | [] -> ()
+      | _ ->
+        let id = List.nth ids (Trace.Rng.int rng (List.length ids)) in
+        let h = Snic.Vnic.handle (Hashtbl.find live id) in
+        (match Snic.Api.nf_destroy api ~id with
+        | Ok () -> incr teardowns
+        | Error e -> Alcotest.fail e);
+        Hashtbl.remove live id;
+        (* Pages are free again: the OS may look, and must see zeroes. *)
+        (match
+           Machine.load_bytes m Machine.Os (Machine.Phys h.Snic.Instructions.mem_base)
+             ~len:(String.length (secret_of id))
+         with
+        | Ok bytes ->
+          if String.exists (fun ch -> ch <> '\000') bytes then
+            Alcotest.failf "NF %d's secret survived teardown" id
+        | Error f -> Alcotest.failf "OS denied freed memory: %s" (Machine.fault_to_string f))
+    end
+    | 3 -> begin
+      (* Push a packet at a random live function that has rules. *)
+      let pkt =
+        Net.Packet.make ~src_ip:(Trace.Rng.int rng 0xFFFFFF) ~dst_ip:(Trace.Rng.int rng 0xFFFFFF)
+          ~proto:Net.Packet.Udp ~src_port:(Trace.Rng.int rng 65536) ~dst_port:(Trace.Rng.int rng 65536) "fuzz"
+      in
+      ignore (Snic.Api.inject_packet api pkt)
+    end
+    | _ -> check_isolation ()
+  done;
+  check_isolation ();
+  (!launches, !teardowns, !denials)
+
+let test_fuzz_isolation_invariant () =
+  let total_launches = ref 0 and total_denials = ref 0 in
+  for seed = 1 to 8 do
+    let launches, _teardowns, denials = fuzz_run seed in
+    total_launches := !total_launches + launches;
+    total_denials := !total_denials + denials
+  done;
+  (* The runs must actually have exercised the interesting paths. *)
+  Alcotest.(check bool) (Printf.sprintf "launched plenty (%d)" !total_launches) true (!total_launches > 20);
+  Alcotest.(check bool) (Printf.sprintf "denials observed (%d)" !total_denials) true (!total_denials > 50)
+
+(* Lifecycle soak: fill the NIC to capacity, run traffic, tear half down,
+   refill, and verify resource accounting never drifts. *)
+let test_soak_lifecycle () =
+  let api = Snic.Api.boot () in
+  let m = Snic.Api.machine api in
+  let cores_total = Machine.cores m in
+  let launch i =
+    Snic.Api.nf_create api
+      {
+        Snic.Instructions.default_config with
+        image = Printf.sprintf "soak-%d" i;
+        rules = [ { Pktio.match_any with dst_port = Some (7000 + i) } ];
+        rx_bytes = 8 * 1024;
+        tx_bytes = 8 * 1024;
+      }
+  in
+  (* Fill every core. *)
+  let vnics = ref [] in
+  let rec fill i =
+    match launch i with
+    | Ok v ->
+      vnics := v :: !vnics;
+      fill (i + 1)
+    | Error _ -> i
+  in
+  let n = fill 0 in
+  Alcotest.(check int) "filled all cores" cores_total n;
+  Alcotest.(check int) "no free cores" 0 (List.length (Machine.free_cores m));
+  (* Run one packet through each. *)
+  let echo = { Nf.Types.name = "echo"; process = (fun p -> Nf.Types.Forward p) } in
+  List.iteri
+    (fun i vnic ->
+      let pkt =
+        Net.Packet.make ~src_ip:1 ~dst_ip:2 ~proto:Net.Packet.Udp ~src_port:9
+          ~dst_port:(7000 + (n - 1 - i))
+          "soak"
+      in
+      (match Snic.Api.inject_packet api pkt with
+      | Ok id -> Alcotest.(check int) "routed to the right NF" (Snic.Vnic.id vnic) id
+      | Error e -> Alcotest.fail e);
+      let stats = Snic.Vnic.process vnic echo ~max:5 in
+      Alcotest.(check int) "forwarded" 1 stats.Snic.Vnic.forwarded)
+    !vnics;
+  (* Tear down every even id, then refill to capacity. *)
+  List.iter
+    (fun v -> if Snic.Vnic.id v mod 2 = 0 then ignore (Snic.Api.nf_destroy api ~id:(Snic.Vnic.id v)))
+    !vnics;
+  Alcotest.(check int) "half the cores free" (cores_total / 2) (List.length (Machine.free_cores m));
+  let rec refill i acc = match launch (100 + i) with Ok _ -> refill (i + 1) (acc + 1) | Error _ -> acc in
+  Alcotest.(check int) "refilled exactly the freed slots" (cores_total / 2) (refill 0 0);
+  Alcotest.(check int) "live functions back at capacity" cores_total
+    (List.length (Snic.Instructions.live_functions (Snic.Api.instructions api)))
+
+let suite =
+  [
+    Alcotest.test_case "fuzz: single-owner invariant" `Slow test_fuzz_isolation_invariant;
+    Alcotest.test_case "soak: fill/drain/refill lifecycle" `Quick test_soak_lifecycle;
+  ]

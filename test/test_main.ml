@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "snic"
+    [
+      ("bigint", Test_bigint.suite);
+      ("crypto", Test_crypto.suite);
+      ("net", Test_net.suite);
+      ("trace", Test_trace.suite);
+      ("nf", Test_nf.suite);
+      ("nf-ext", Test_nf_ext.suite);
+      ("nicsim", Test_nicsim.suite);
+      ("sched", Test_sched.suite);
+      ("snic", Test_snic.suite);
+      ("snic-ext", Test_snic_ext.suite);
+      ("isolation-fuzz", Test_isolation_fuzz.suite);
+      ("edge-cases", Test_edge_cases.suite);
+      ("properties", Test_properties.suite);
+      ("attacks", Test_attacks.suite);
+      ("costmodel", Test_costmodel.suite);
+      ("memprof", Test_memprof.suite);
+      ("uarch", Test_uarch.suite);
+      ("accelfn", Test_accelfn.suite);
+    ]

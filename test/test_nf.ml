@@ -1,0 +1,373 @@
+let ip = Net.Ipv4_addr.of_string
+
+let packet ?(src = "10.0.0.5") ?(dst = "93.184.216.34") ?(proto = Net.Packet.Tcp) ?(sport = 40000) ?(dport = 80)
+    ?(payload = "GET / HTTP/1.1") () =
+  Net.Packet.make ~src_ip:(ip src) ~dst_ip:(ip dst) ~proto ~src_port:sport ~dst_port:dport payload
+
+(* ---------- Aho-Corasick ---------- *)
+
+let test_ac_basic () =
+  let ac = Nf.Aho_corasick.build [ "he"; "she"; "his"; "hers" ] in
+  Alcotest.(check int) "patterns" 4 (Nf.Aho_corasick.pattern_count ac);
+  (* Classic example: "ushers" contains she, he, hers. *)
+  Alcotest.(check int) "ushers" 3 (Nf.Aho_corasick.scan ac "ushers");
+  Alcotest.(check int) "no match" 0 (Nf.Aho_corasick.scan ac "xyzzy");
+  let hits = ref [] in
+  Nf.Aho_corasick.iter_matches ac "ushers" (fun ~pattern ~end_pos -> hits := (pattern, end_pos) :: !hits);
+  Alcotest.(check int) "iter count" 3 (List.length !hits)
+
+let test_ac_overlapping () =
+  let ac = Nf.Aho_corasick.build [ "aa"; "aaa" ] in
+  (* "aaaa": "aa" ends at 1,2,3 and "aaa" at 2,3 -> 5 hits. *)
+  Alcotest.(check int) "overlaps counted" 5 (Nf.Aho_corasick.scan ac "aaaa")
+
+let test_ac_binary_patterns () =
+  let ac = Nf.Aho_corasick.build [ "\x00\x01\x02"; "\xff\xfe" ] in
+  Alcotest.(check int) "binary" 2 (Nf.Aho_corasick.scan ac "x\x00\x01\x02y\xff\xfez");
+  Alcotest.(check (option int)) "first match id" (Some 0) (Nf.Aho_corasick.first_match ac "..\x00\x01\x02..")
+
+let test_ac_rejects_empty () =
+  Alcotest.check_raises "empty pattern" (Invalid_argument "Aho_corasick.build: empty pattern") (fun () ->
+      ignore (Nf.Aho_corasick.build [ "ok"; "" ]))
+
+let test_ac_substring_of_pattern () =
+  (* Matching inside a longer pattern via failure links. *)
+  let ac = Nf.Aho_corasick.build [ "abcde"; "cd" ] in
+  Alcotest.(check int) "cd found while walking abcde prefix" 1 (Nf.Aho_corasick.scan ac "abcdX")
+
+let prop_ac_matches_naive =
+  let gen =
+    QCheck.Gen.(
+      let* pats = list_size (int_range 1 5) (string_size ~gen:(oneofl [ 'a'; 'b'; 'c' ]) (int_range 1 4)) in
+      let* text = string_size ~gen:(oneofl [ 'a'; 'b'; 'c' ]) (int_range 0 50) in
+      return (pats, text))
+  in
+  QCheck.Test.make ~name:"aho-corasick matches naive search" ~count:300 (QCheck.make gen) (fun (pats, text) ->
+      let pats = List.sort_uniq compare pats in
+      let ac = Nf.Aho_corasick.build pats in
+      let naive =
+        List.fold_left
+          (fun acc p ->
+            let count = ref 0 in
+            let pl = String.length p and tl = String.length text in
+            for i = 0 to tl - pl do
+              if String.sub text i pl = p then incr count
+            done;
+            acc + !count)
+          0 pats
+      in
+      Nf.Aho_corasick.scan ac text = naive)
+
+(* ---------- Firewall ---------- *)
+
+let deny_ssh =
+  {
+    Nf.Firewall.src_prefix = None;
+    dst_prefix = None;
+    proto = Some 6;
+    src_ports = None;
+    dst_ports = Some (22, 22);
+    action = Nf.Firewall.Deny;
+  }
+
+let deny_net =
+  {
+    Nf.Firewall.src_prefix = Some (ip "192.0.2.0", 24);
+    dst_prefix = None;
+    proto = None;
+    src_ports = None;
+    dst_ports = None;
+    action = Nf.Firewall.Deny;
+  }
+
+let test_firewall_rules () =
+  let fw = Nf.Firewall.create ~default:Nf.Firewall.Allow [ deny_ssh; deny_net ] in
+  Alcotest.(check bool) "ssh denied" true (Nf.Firewall.classify fw (packet ~dport:22 ()) = Nf.Firewall.Deny);
+  Alcotest.(check bool) "http allowed" true (Nf.Firewall.classify fw (packet ~dport:80 ()) = Nf.Firewall.Allow);
+  Alcotest.(check bool) "bad net denied" true (Nf.Firewall.classify fw (packet ~src:"192.0.2.77" ()) = Nf.Firewall.Deny);
+  (* UDP to port 22 is not matched by the TCP-only rule. *)
+  Alcotest.(check bool) "udp 22 allowed" true
+    (Nf.Firewall.classify fw (packet ~proto:Net.Packet.Udp ~dport:22 ()) = Nf.Firewall.Allow)
+
+let test_firewall_first_match_wins () =
+  let allow_ssh = { deny_ssh with action = Nf.Firewall.Allow } in
+  let fw = Nf.Firewall.create ~default:Nf.Firewall.Deny [ allow_ssh; deny_ssh ] in
+  Alcotest.(check bool) "first rule wins" true (Nf.Firewall.classify fw (packet ~dport:22 ()) = Nf.Firewall.Allow)
+
+let test_firewall_cache () =
+  let fw = Nf.Firewall.create ~cache_capacity:2 ~default:Nf.Firewall.Allow [ deny_ssh ] in
+  ignore (Nf.Firewall.classify fw (packet ~sport:1001 ()));
+  ignore (Nf.Firewall.classify fw (packet ~sport:1002 ()));
+  ignore (Nf.Firewall.classify fw (packet ~sport:1003 ()));
+  Alcotest.(check int) "cache bounded" 2 (Nf.Firewall.cached_flows fw);
+  (* Cached flows classify identically. *)
+  Alcotest.(check bool) "cache hit consistent" true
+    (Nf.Firewall.classify fw (packet ~sport:1001 ()) = Nf.Firewall.Allow)
+
+let test_firewall_nf_verdicts () =
+  let fw = Nf.Firewall.nf (Nf.Firewall.create ~default:Nf.Firewall.Allow [ deny_ssh ]) in
+  Alcotest.(check bool) "drop" true (Nf.Types.is_drop (fw.process (packet ~dport:22 ())));
+  Alcotest.(check bool) "forward" false (Nf.Types.is_drop (fw.process (packet ~dport:80 ())))
+
+(* ---------- NAT ---------- *)
+
+let make_nat () =
+  Nf.Nat.create ~internal_prefix:(ip "10.0.0.0", 8) ~external_ip:(ip "203.0.113.1") ()
+
+let test_nat_outbound () =
+  let nat = make_nat () in
+  match Nf.Nat.translate nat (packet ~src:"10.0.0.5" ()) with
+  | Some p ->
+    Alcotest.(check string) "src rewritten" "203.0.113.1" (Net.Ipv4_addr.to_string p.src_ip);
+    Alcotest.(check int) "port from pool" Nf.Nat.port_base p.src_port;
+    Alcotest.(check int) "one mapping" 1 (Nf.Nat.active_mappings nat)
+  | None -> Alcotest.fail "translation failed"
+
+let test_nat_stable_mapping () =
+  let nat = make_nat () in
+  let p1 = Option.get (Nf.Nat.translate nat (packet ~sport:1234 ())) in
+  let p2 = Option.get (Nf.Nat.translate nat (packet ~sport:1234 ())) in
+  Alcotest.(check int) "same flow same port" p1.src_port p2.src_port;
+  let q = Option.get (Nf.Nat.translate nat (packet ~sport:9999 ())) in
+  Alcotest.(check bool) "different flow different port" true (q.src_port <> p1.src_port)
+
+let test_nat_hairpin () =
+  let nat = make_nat () in
+  let out = Option.get (Nf.Nat.translate nat (packet ~src:"10.1.2.3" ~sport:5555 ())) in
+  (* Build the reply: from the server back to the external endpoint. *)
+  let reply =
+    Net.Packet.make ~src_ip:(ip "93.184.216.34") ~dst_ip:out.src_ip ~proto:Net.Packet.Tcp ~src_port:80
+      ~dst_port:out.src_port "response"
+  in
+  match Nf.Nat.translate nat reply with
+  | Some p ->
+    Alcotest.(check string) "dst restored" "10.1.2.3" (Net.Ipv4_addr.to_string p.dst_ip);
+    Alcotest.(check int) "port restored" 5555 p.dst_port
+  | None -> Alcotest.fail "reverse translation failed"
+
+let test_nat_unknown_inbound_dropped () =
+  let nat = make_nat () in
+  let stray =
+    Net.Packet.make ~src_ip:(ip "93.184.216.34") ~dst_ip:(ip "203.0.113.1") ~proto:Net.Packet.Tcp ~src_port:80
+      ~dst_port:4242 "stray"
+  in
+  Alcotest.(check bool) "no mapping" true (Nf.Nat.translate nat stray = None)
+
+let test_nat_pool_accounting () =
+  let nat = make_nat () in
+  let before = Nf.Nat.free_ports nat in
+  for i = 0 to 9 do
+    ignore (Nf.Nat.translate nat (packet ~sport:(20000 + i) ()))
+  done;
+  Alcotest.(check int) "10 ports consumed" (before - 10) (Nf.Nat.free_ports nat)
+
+(* ---------- Maglev ---------- *)
+
+let test_maglev_balance () =
+  let lb = Nf.Maglev.create ~table_size:65537 (Nf.Rulegen.backends ~n:8) in
+  let loads = List.map snd (Nf.Maglev.load lb) in
+  let mn = List.fold_left min max_int loads and mx = List.fold_left max 0 loads in
+  (* Maglev's guarantee: nearly perfect balance. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "balanced (min %d max %d)" mn mx)
+    true
+    (float_of_int mx /. float_of_int mn < 1.02);
+  Alcotest.(check int) "table full" 65537 (List.fold_left ( + ) 0 loads)
+
+let test_maglev_consistency () =
+  let lb = Nf.Maglev.create ~table_size:65537 (Nf.Rulegen.backends ~n:8) in
+  let f = Net.Packet.flow (packet ()) in
+  Alcotest.(check string) "stable" (Nf.Maglev.backend_for lb f) (Nf.Maglev.backend_for lb f)
+
+let test_maglev_disruption () =
+  let lb8 = Nf.Maglev.create ~table_size:65537 (Nf.Rulegen.backends ~n:8) in
+  let lb7 = Nf.Maglev.remove lb8 "backend-003" in
+  Alcotest.(check int) "one fewer backend" 7 (List.length (Nf.Maglev.backends lb7));
+  let d = Nf.Maglev.disruption lb8 lb7 in
+  (* Removing 1 of 8 backends must remap its ~1/8 of slots; consistent
+     hashing should keep total disruption well under 2/8. *)
+  Alcotest.(check bool) (Printf.sprintf "disruption %.3f" d) true (d >= 0.125 -. 0.01 && d < 0.25)
+
+let test_maglev_validation () =
+  Alcotest.check_raises "no backends" (Invalid_argument "Maglev.create: no backends") (fun () ->
+      ignore (Nf.Maglev.create []));
+  Alcotest.check_raises "composite table" (Invalid_argument "Maglev.create: table size must be prime") (fun () ->
+      ignore (Nf.Maglev.create ~table_size:65536 [ "a" ]));
+  Alcotest.check_raises "duplicates" (Invalid_argument "Maglev.create: duplicate backends") (fun () ->
+      ignore (Nf.Maglev.create [ "a"; "a" ]))
+
+(* ---------- LPM ---------- *)
+
+let test_lpm_basic () =
+  let t = Nf.Lpm.create () in
+  Nf.Lpm.insert t ~prefix:(ip "10.0.0.0") ~len:8 1;
+  Nf.Lpm.insert t ~prefix:(ip "10.1.0.0") ~len:16 2;
+  Nf.Lpm.insert t ~prefix:(ip "10.1.1.0") ~len:24 3;
+  Alcotest.(check (option int)) "/8" (Some 1) (Nf.Lpm.lookup t (ip "10.200.0.1"));
+  Alcotest.(check (option int)) "/16" (Some 2) (Nf.Lpm.lookup t (ip "10.1.200.1"));
+  Alcotest.(check (option int)) "/24" (Some 3) (Nf.Lpm.lookup t (ip "10.1.1.200"));
+  Alcotest.(check (option int)) "no route" None (Nf.Lpm.lookup t (ip "11.0.0.1"))
+
+let test_lpm_long_prefixes () =
+  let t = Nf.Lpm.create () in
+  Nf.Lpm.insert t ~prefix:(ip "10.1.1.0") ~len:24 3;
+  Nf.Lpm.insert t ~prefix:(ip "10.1.1.128") ~len:25 4;
+  Nf.Lpm.insert t ~prefix:(ip "10.1.1.200") ~len:32 5;
+  Alcotest.(check (option int)) "host route" (Some 5) (Nf.Lpm.lookup t (ip "10.1.1.200"));
+  Alcotest.(check (option int)) "/25" (Some 4) (Nf.Lpm.lookup t (ip "10.1.1.129"));
+  Alcotest.(check (option int)) "/24 shallow" (Some 3) (Nf.Lpm.lookup t (ip "10.1.1.5"));
+  Alcotest.(check int) "one tbl8 block" 1 (Nf.Lpm.tbl8_blocks t)
+
+let test_lpm_insert_order_independent () =
+  (* Insert longest first, then shorter: the short prefix must not
+     clobber the long one. *)
+  let t = Nf.Lpm.create () in
+  Nf.Lpm.insert t ~prefix:(ip "10.1.1.200") ~len:32 5;
+  Nf.Lpm.insert t ~prefix:(ip "10.1.1.0") ~len:24 3;
+  Nf.Lpm.insert t ~prefix:(ip "10.0.0.0") ~len:8 1;
+  Alcotest.(check (option int)) "host survives" (Some 5) (Nf.Lpm.lookup t (ip "10.1.1.200"));
+  Alcotest.(check (option int)) "/24 survives" (Some 3) (Nf.Lpm.lookup t (ip "10.1.1.7"));
+  Alcotest.(check (option int)) "/8 fallback" (Some 1) (Nf.Lpm.lookup t (ip "10.9.9.9"))
+
+let test_lpm_validation () =
+  let t = Nf.Lpm.create () in
+  Alcotest.check_raises "bad len" (Invalid_argument "Lpm.insert: bad prefix length") (fun () ->
+      Nf.Lpm.insert t ~prefix:0 ~len:33 1);
+  Alcotest.check_raises "bad hop" (Invalid_argument "Lpm.insert: next hop out of range") (fun () ->
+      Nf.Lpm.insert t ~prefix:0 ~len:8 0x8000)
+
+let test_lpm_table_bytes () =
+  let t = Nf.Lpm.create () in
+  Alcotest.(check int) "tbl24 is 32 MB" (2 * (1 lsl 24)) (Nf.Lpm.table_bytes t);
+  Nf.Lpm.insert t ~prefix:(ip "1.2.3.4") ~len:32 7;
+  Alcotest.(check int) "block adds 512B" ((2 * (1 lsl 24)) + 512) (Nf.Lpm.table_bytes t)
+
+let prop_lpm_matches_naive =
+  let gen =
+    QCheck.Gen.(
+      let* routes =
+        list_size (int_range 1 30)
+          (let* len = int_range 8 32 in
+           let* addr = int_bound 0xFFFFFF in
+           let* hop = int_bound 100 in
+           let mask = if len = 0 then 0 else 0xffffffff lxor ((1 lsl (32 - len)) - 1) in
+           return ((addr * 251) land mask, len, hop))
+      in
+      let* queries = list_size (int_range 1 20) (int_bound 0xFFFFFF) in
+      return (routes, List.map (fun q -> (q * 65599) land 0xffffffff) queries))
+  in
+  QCheck.Test.make ~name:"lpm agrees with naive longest-prefix scan" ~count:100 (QCheck.make gen)
+    (fun (routes, queries) ->
+      let t = Nf.Lpm.create () in
+      List.iter (fun (p, l, h) -> Nf.Lpm.insert t ~prefix:p ~len:l h) routes;
+      List.for_all
+        (fun q ->
+          let naive =
+            List.fold_left
+              (fun best (p, l, h) ->
+                if Net.Ipv4_addr.in_prefix q ~prefix:p ~len:l then
+                  match best with Some (bl, _) when bl >= l -> best | _ -> Some (l, h)
+                else best)
+              None routes
+          in
+          Nf.Lpm.lookup t q = Option.map snd naive)
+        queries)
+
+(* ---------- Monitor ---------- *)
+
+let test_monitor_counts () =
+  let m = Nf.Monitor.create () in
+  let p1 = packet ~sport:1000 () and p2 = packet ~sport:2000 () in
+  Nf.Monitor.observe m p1;
+  Nf.Monitor.observe m p1;
+  Nf.Monitor.observe m p2;
+  Alcotest.(check int) "two flows" 2 (Nf.Monitor.flow_count m);
+  Alcotest.(check int) "three packets" 3 (Nf.Monitor.packets_seen m);
+  Alcotest.(check int) "flow 1 count" 2 (Nf.Monitor.count_of m (Net.Packet.flow p1));
+  match Nf.Monitor.top m 1 with
+  | [ (f, 2) ] -> Alcotest.(check bool) "top flow" true (Net.Five_tuple.equal f (Net.Packet.flow p1))
+  | _ -> Alcotest.fail "unexpected top"
+
+(* ---------- Registry ---------- *)
+
+let test_registry_builds_and_processes () =
+  let trace = Trace.Tracegen.ictf_like ~n_flows:50 ~seed:9 ~packets:100 () in
+  List.iter
+    (fun (spec : Nf.Registry.spec) ->
+      let nf = spec.build ~scale:0.01 () in
+      let forwarded = ref 0 and dropped = ref 0 in
+      Seq.iter
+        (fun p -> match nf.Nf.Types.process p with Nf.Types.Forward _ -> incr forwarded | Nf.Types.Drop _ -> incr dropped)
+        (Trace.Tracegen.packets trace);
+      Alcotest.(check int) (spec.short ^ " saw all packets") 100 (!forwarded + !dropped))
+    Nf.Registry.all;
+  Alcotest.(check int) "six NFs" 6 (List.length Nf.Registry.all)
+
+let test_registry_find () =
+  Alcotest.(check string) "find LPM" "LPM" (Nf.Registry.find "LPM").short;
+  Alcotest.check_raises "unknown" (Invalid_argument "Nf.Registry.find: unknown NF XXX") (fun () ->
+      ignore (Nf.Registry.find "XXX"))
+
+let suite =
+  [
+    Alcotest.test_case "aho-corasick classic" `Quick test_ac_basic;
+    Alcotest.test_case "aho-corasick overlapping" `Quick test_ac_overlapping;
+    Alcotest.test_case "aho-corasick binary" `Quick test_ac_binary_patterns;
+    Alcotest.test_case "aho-corasick rejects empty" `Quick test_ac_rejects_empty;
+    Alcotest.test_case "aho-corasick failure links" `Quick test_ac_substring_of_pattern;
+    QCheck_alcotest.to_alcotest prop_ac_matches_naive;
+    Alcotest.test_case "firewall rule matching" `Quick test_firewall_rules;
+    Alcotest.test_case "firewall first match wins" `Quick test_firewall_first_match_wins;
+    Alcotest.test_case "firewall cache bound" `Quick test_firewall_cache;
+    Alcotest.test_case "firewall verdicts" `Quick test_firewall_nf_verdicts;
+    Alcotest.test_case "nat outbound" `Quick test_nat_outbound;
+    Alcotest.test_case "nat stable mapping" `Quick test_nat_stable_mapping;
+    Alcotest.test_case "nat reverse path" `Quick test_nat_hairpin;
+    Alcotest.test_case "nat drops unknown inbound" `Quick test_nat_unknown_inbound_dropped;
+    Alcotest.test_case "nat port accounting" `Quick test_nat_pool_accounting;
+    Alcotest.test_case "maglev balance" `Quick test_maglev_balance;
+    Alcotest.test_case "maglev consistency" `Quick test_maglev_consistency;
+    Alcotest.test_case "maglev disruption on removal" `Quick test_maglev_disruption;
+    Alcotest.test_case "maglev validation" `Quick test_maglev_validation;
+    Alcotest.test_case "lpm basic" `Quick test_lpm_basic;
+    Alcotest.test_case "lpm long prefixes" `Quick test_lpm_long_prefixes;
+    Alcotest.test_case "lpm insert order independent" `Quick test_lpm_insert_order_independent;
+    Alcotest.test_case "lpm validation" `Quick test_lpm_validation;
+    Alcotest.test_case "lpm table bytes" `Quick test_lpm_table_bytes;
+    QCheck_alcotest.to_alcotest prop_lpm_matches_naive;
+    Alcotest.test_case "monitor counts" `Quick test_monitor_counts;
+    Alcotest.test_case "registry builds all six" `Quick test_registry_builds_and_processes;
+    Alcotest.test_case "registry find" `Quick test_registry_find;
+  ]
+
+let test_ac_compiled_equivalence () =
+  let ac = Nf.Aho_corasick.build [ "he"; "she"; "his"; "hers" ] in
+  let dfa = Nf.Aho_corasick.compile ac in
+  Alcotest.(check int) "all states dense" (Nf.Aho_corasick.state_count ac) (Nf.Aho_corasick.dense_state_count dfa);
+  Alcotest.(check int) "same result" (Nf.Aho_corasick.scan ac "ushers") (Nf.Aho_corasick.scan dfa "ushers");
+  (* Partial compilation: only some states dense. *)
+  let partial = Nf.Aho_corasick.compile ~dense_states:3 ac in
+  Alcotest.(check int) "partial" 3 (Nf.Aho_corasick.dense_state_count partial);
+  Alcotest.(check int) "partial same result" 3 (Nf.Aho_corasick.scan partial "ushers")
+
+let prop_ac_compiled_matches_sparse =
+  let gen =
+    QCheck.Gen.(
+      let* pats = list_size (int_range 1 6) (string_size ~gen:(oneofl [ 'a'; 'b'; 'c' ]) (int_range 1 5)) in
+      let* text = string_size ~gen:(oneofl [ 'a'; 'b'; 'c'; 'd' ]) (int_range 0 120) in
+      let* k = int_range 0 40 in
+      return (pats, text, k))
+  in
+  QCheck.Test.make ~name:"compiled DFA scans identically at any density" ~count:300 (QCheck.make gen)
+    (fun (pats, text, k) ->
+      let pats = List.sort_uniq compare pats in
+      let ac = Nf.Aho_corasick.build pats in
+      let dfa = Nf.Aho_corasick.compile ~dense_states:k ac in
+      Nf.Aho_corasick.scan ac text = Nf.Aho_corasick.scan dfa text)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "aho-corasick compiled DFA" `Quick test_ac_compiled_equivalence;
+      QCheck_alcotest.to_alcotest prop_ac_compiled_matches_sparse;
+    ]

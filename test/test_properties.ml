@@ -1,0 +1,141 @@
+(* Cross-cutting property tests on core invariants, beyond each module's
+   own qcheck suites. *)
+
+open Nicsim
+
+(* ---------- bigint algebra on large values ---------- *)
+
+let gen_big = QCheck.map Bigint.of_bytes_be (QCheck.string_of_size (QCheck.Gen.int_range 0 48))
+
+let prop_add_sub_inverse =
+  QCheck.Test.make ~name:"bigint (a+b)-b = a on large values" ~count:300 (QCheck.pair gen_big gen_big)
+    (fun (a, b) -> Bigint.equal a (Bigint.sub (Bigint.add a b) b))
+
+let prop_shift_roundtrip =
+  QCheck.Test.make ~name:"bigint shift left then right" ~count:300 (QCheck.pair gen_big (QCheck.int_bound 100))
+    (fun (a, k) -> Bigint.equal a (Bigint.shift_right (Bigint.shift_left a k) k))
+
+let prop_mul_commutes =
+  QCheck.Test.make ~name:"bigint mul commutes" ~count:200 (QCheck.pair gen_big gen_big) (fun (a, b) ->
+      Bigint.equal (Bigint.mul a b) (Bigint.mul b a))
+
+let prop_modpow_matches_naive =
+  QCheck.Test.make ~name:"modpow matches naive iteration" ~count:200
+    (QCheck.triple (QCheck.int_range 0 50) (QCheck.int_range 0 12) (QCheck.int_range 2 50))
+    (fun (b, e, m) ->
+      let naive = ref 1 in
+      for _ = 1 to e do
+        naive := !naive * b mod m
+      done;
+      Bigint.to_int
+        (Bigint.modpow ~base:(Bigint.of_int b) ~exponent:(Bigint.of_int e) ~modulus:(Bigint.of_int m))
+      = Some !naive)
+
+let prop_bit_length =
+  QCheck.Test.make ~name:"bit_length agrees with ints" ~count:300 (QCheck.int_bound max_int) (fun n ->
+      let rec width v acc = if v = 0 then acc else width (v lsr 1) (acc + 1) in
+      Bigint.bit_length (Bigint.of_int n) = width n 0)
+
+(* ---------- page packing invariants ---------- *)
+
+let menus = [| Costmodel.Page_packing.equal_2mb; Costmodel.Page_packing.flex_low; Costmodel.Page_packing.flex_high |]
+
+let prop_packing_covers =
+  QCheck.Test.make ~name:"packing always covers the request" ~count:300
+    (QCheck.pair (QCheck.int_bound 2) (QCheck.int_bound 500_000_000))
+    (fun (mi, bytes) ->
+      let menu = menus.(mi) in
+      Costmodel.Page_packing.allocated ~page_sizes:menu [ bytes ] >= bytes
+      && Costmodel.Page_packing.waste ~page_sizes:menu [ bytes ] < List.fold_left min max_int menu)
+
+let prop_packing_monotone_entries =
+  QCheck.Test.make ~name:"finer menus never need fewer bytes" ~count:200 (QCheck.int_bound 500_000_000)
+    (fun bytes ->
+      (* Flex-low has the smallest page: its allocation is the tightest. *)
+      Costmodel.Page_packing.allocated ~page_sizes:Costmodel.Page_packing.flex_low [ bytes ]
+      <= Costmodel.Page_packing.allocated ~page_sizes:Costmodel.Page_packing.equal_2mb [ bytes ])
+
+(* ---------- scheduler ordering properties ---------- *)
+
+let prop_priority_strictness =
+  QCheck.Test.make ~name:"priority never serves a lower class before a queued higher one" ~count:200
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 60) (QCheck.int_bound 3))
+    (fun levels ->
+      let s = Sched.create (Sched.Priority { levels = 4 }) in
+      List.iteri (fun i l -> Sched.enqueue s { Sched.flow = i; bytes = 10; level = l; weight = 1 } l) levels;
+      let order = Sched.drain s in
+      let rec sorted = function a :: (b :: _ as rest) -> a <= b && sorted rest | _ -> true in
+      sorted order)
+
+(* ---------- TLB translation is a partial injection ---------- *)
+
+let prop_tlb_injective =
+  QCheck.Test.make ~name:"tlb never maps two vaddrs to overlapping paddrs" ~count:100
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 6) (QCheck.pair (QCheck.int_bound 63) (QCheck.int_bound 63)))
+    (fun picks ->
+      let tlb = Tlb.create () in
+      let size = 0x1000 in
+      List.iter
+        (fun (v, p) ->
+          try Tlb.install tlb { Tlb.vbase = v * size; pbase = (64 + p) * size; size; writable = true }
+          with Invalid_argument _ -> ())
+        picks;
+      (* For every mapped vaddr, translation is a function (deterministic)
+         and the reverse direction never produces two vaddrs with the
+         same paddr unless they came from the same entry. *)
+      let seen = Hashtbl.create 64 in
+      let ok = ref true in
+      for v = 0 to (70 * size) - 1 do
+        if v mod 997 = 0 then begin
+          match Tlb.translate tlb ~vaddr:v ~access:Tlb.Read with
+          | None -> ()
+          | Some p -> begin
+            match Hashtbl.find_opt seen p with
+            | Some v' when v' <> v -> ok := false
+            | _ -> Hashtbl.replace seen p v
+          end
+        end
+      done;
+      !ok)
+
+(* ---------- attestation round-trips under serialization fuzz ---------- *)
+
+let prop_wire_roundtrip =
+  QCheck.Test.make ~name:"wire encode/decode roundtrips" ~count:300
+    (QCheck.list_of_size (QCheck.Gen.int_range 0 8) (QCheck.string_of_size (QCheck.Gen.int_range 0 64)))
+    (fun fields ->
+      match Snic.Wire.decode ~expect:(List.length fields) (Snic.Wire.encode fields) with
+      | Ok got -> got = fields
+      | Error _ -> false)
+
+let prop_wire_decode_total =
+  QCheck.Test.make ~name:"wire decode is total on junk" ~count:300
+    (QCheck.pair (QCheck.int_bound 6) (QCheck.string_of_size (QCheck.Gen.int_range 0 100)))
+    (fun (n, junk) -> match Snic.Wire.decode ~expect:n junk with Ok _ | Error _ -> true)
+
+(* ---------- cipher: distinct nonces, distinct streams ---------- *)
+
+let prop_cipher_nonce_separation =
+  QCheck.Test.make ~name:"cipher keystreams differ across nonces" ~count:100
+    (QCheck.string_of_size (QCheck.Gen.int_range 16 64))
+    (fun pt ->
+      let key = Crypto.Sha256.digest "k" in
+      let c1 = Crypto.Cipher.seal ~key ~nonce:1L pt in
+      let c2 = Crypto.Cipher.seal ~key ~nonce:2L pt in
+      not (String.equal c1 c2))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_add_sub_inverse;
+    QCheck_alcotest.to_alcotest prop_shift_roundtrip;
+    QCheck_alcotest.to_alcotest prop_mul_commutes;
+    QCheck_alcotest.to_alcotest prop_modpow_matches_naive;
+    QCheck_alcotest.to_alcotest prop_bit_length;
+    QCheck_alcotest.to_alcotest prop_packing_covers;
+    QCheck_alcotest.to_alcotest prop_packing_monotone_entries;
+    QCheck_alcotest.to_alcotest prop_priority_strictness;
+    QCheck_alcotest.to_alcotest prop_tlb_injective;
+    QCheck_alcotest.to_alcotest prop_wire_roundtrip;
+    QCheck_alcotest.to_alcotest prop_wire_decode_total;
+    QCheck_alcotest.to_alcotest prop_cipher_nonce_separation;
+  ]

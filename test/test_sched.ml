@@ -1,0 +1,150 @@
+open Nicsim
+
+let meta ?(flow = 0) ?(bytes = 100) ?(level = 1) ?(weight = 1) () = { Sched.flow; bytes; level; weight }
+
+let test_fifo_order () =
+  let s = Sched.create Sched.Fifo in
+  List.iter (fun i -> Sched.enqueue s (meta ~flow:i ()) i) [ 1; 2; 3; 4 ];
+  Alcotest.(check (list int)) "fifo order" [ 1; 2; 3; 4 ] (Sched.drain s);
+  Alcotest.(check bool) "empty" true (Sched.is_empty s);
+  Alcotest.(check bool) "dequeue empty" true (Sched.dequeue s = None)
+
+let test_priority_strict () =
+  let s = Sched.create (Sched.Priority { levels = 3 }) in
+  Sched.enqueue s (meta ~level:2 ()) "low1";
+  Sched.enqueue s (meta ~level:0 ()) "high1";
+  Sched.enqueue s (meta ~level:1 ()) "mid";
+  Sched.enqueue s (meta ~level:0 ()) "high2";
+  Alcotest.(check (list string)) "strict priority" [ "high1"; "high2"; "mid"; "low1" ] (Sched.drain s);
+  (* Out-of-range levels clamp instead of crashing. *)
+  Sched.enqueue s (meta ~level:99 ()) "clamped";
+  Alcotest.(check (list string)) "clamped" [ "clamped" ] (Sched.drain s)
+
+let test_drr_fairness () =
+  (* Flow 0 sends big packets, flow 1 small ones; DRR serves roughly
+     equal *bytes*, so flow 1 gets more packets out early. *)
+  let s = Sched.create (Sched.Drr { quantum = 500 }) in
+  for i = 0 to 9 do
+    Sched.enqueue s (meta ~flow:0 ~bytes:1000 ()) (0, i);
+    Sched.enqueue s (meta ~flow:1 ~bytes:100 ()) (1, i)
+  done;
+  (* Take the first 11 services and count bytes per flow. *)
+  let served = Array.make 2 0 in
+  for _ = 1 to 11 do
+    match Sched.dequeue s with
+    | Some (f, _) -> served.(f) <- served.(f) + (if f = 0 then 1000 else 100)
+    | None -> Alcotest.fail "queue ran dry"
+  done;
+  let ratio = float_of_int served.(0) /. float_of_int served.(1) in
+  Alcotest.(check bool) (Printf.sprintf "byte-fair (ratio %.2f)" ratio) true (ratio > 0.5 && ratio < 2.0);
+  (* Everything eventually drains. *)
+  Alcotest.(check int) "drains fully" 9 (List.length (Sched.drain s))
+
+let test_drr_single_flow_is_fifo () =
+  let s = Sched.create (Sched.Drr { quantum = 64 }) in
+  List.iter (fun i -> Sched.enqueue s (meta ~flow:7 ~bytes:200 ()) i) [ 1; 2; 3 ];
+  Alcotest.(check (list int)) "in order" [ 1; 2; 3 ] (Sched.drain s)
+
+let test_wfq_weights () =
+  (* Two backlogged flows with weights 3:1 and equal packet sizes: over
+     the first services, the heavy flow should get ~3x the service. *)
+  let s = Sched.create Sched.Wfq in
+  for i = 0 to 19 do
+    Sched.enqueue s (meta ~flow:0 ~bytes:100 ~weight:3 ()) (0, i);
+    Sched.enqueue s (meta ~flow:1 ~bytes:100 ~weight:1 ()) (1, i)
+  done;
+  let served = Array.make 2 0 in
+  for _ = 1 to 16 do
+    match Sched.dequeue s with
+    | Some (f, _) -> served.(f) <- served.(f) + 1
+    | None -> Alcotest.fail "ran dry"
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "weighted service (%d vs %d)" served.(0) served.(1))
+    true
+    (served.(0) >= 2 * served.(1));
+  Alcotest.(check int) "drains fully" 24 (List.length (Sched.drain s))
+
+let test_wfq_single_flow_order () =
+  let s = Sched.create Sched.Wfq in
+  List.iter (fun i -> Sched.enqueue s (meta ~flow:1 ~bytes:50 ()) i) [ 1; 2; 3; 4 ];
+  Alcotest.(check (list int)) "per-flow FIFO" [ 1; 2; 3; 4 ] (Sched.drain s)
+
+let test_validation () =
+  Alcotest.check_raises "bad quantum" (Invalid_argument "Sched.create: quantum must be positive") (fun () ->
+      ignore (Sched.create (Sched.Drr { quantum = 0 })));
+  Alcotest.check_raises "bad levels" (Invalid_argument "Sched.create: need at least one priority level") (fun () ->
+      ignore (Sched.create (Sched.Priority { levels = 0 })))
+
+let test_iter_sees_everything () =
+  List.iter
+    (fun policy ->
+      let s = Sched.create policy in
+      for i = 0 to 9 do
+        Sched.enqueue s (meta ~flow:(i mod 3) ~level:(i mod 2) ()) i
+      done;
+      let seen = ref 0 in
+      Sched.iter (fun _ -> incr seen) s;
+      Alcotest.(check int) (Sched.policy_name policy ^ " iter") 10 !seen;
+      Alcotest.(check int) (Sched.policy_name policy ^ " length") 10 (Sched.length s))
+    [ Sched.Fifo; Sched.Drr { quantum = 128 }; Sched.Priority { levels = 2 }; Sched.Wfq ]
+
+let prop_all_policies_conserve =
+  QCheck.Test.make ~name:"schedulers neither lose nor duplicate packets" ~count:100
+    (QCheck.pair (QCheck.int_bound 3) (QCheck.list_of_size (QCheck.Gen.int_range 0 50) (QCheck.int_bound 1000)))
+    (fun (which, items) ->
+      let policy =
+        match which with
+        | 0 -> Sched.Fifo
+        | 1 -> Sched.Drr { quantum = 256 }
+        | 2 -> Sched.Priority { levels = 4 }
+        | _ -> Sched.Wfq
+      in
+      let s = Sched.create policy in
+      List.iteri
+        (fun i x -> Sched.enqueue s (meta ~flow:(i mod 5) ~bytes:(1 + (x mod 900)) ~level:(i mod 4) ()) x)
+        items;
+      let out = Sched.drain s in
+      List.sort compare out = List.sort compare items)
+
+(* The pipeline integration: a priority-scheduled VPP serves well-known
+   ports first. *)
+let test_pktio_priority_pipeline () =
+  let mem = Physmem.create ~size:(32 * 1048576) in
+  let alloc = Alloc.init mem ~base:0x10000 ~heap_base:(16 * 1048576) ~heap_size:(16 * 1048576) ~max_entries:128 in
+  let io = Pktio.create mem alloc ~rx_buffer_bytes:1048576 ~tx_buffer_bytes:1048576 in
+  (match Pktio.reserve ~sched:(Sched.Priority { levels = 2 }) io ~nf:0 ~rx_bytes:65536 ~tx_bytes:65536 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "scheduler installed" true
+    (Pktio.scheduler_of io ~nf:0 = Some (Sched.Priority { levels = 2 }));
+  Pktio.add_rule io ~m:Pktio.match_any ~nf:0;
+  let frame dport =
+    Net.Packet.serialize
+      (Net.Packet.make ~src_ip:1 ~dst_ip:2 ~proto:Net.Packet.Udp ~src_port:5000 ~dst_port:dport "x")
+  in
+  (* Bulk traffic arrives first, then a DNS packet: priority pops DNS. *)
+  ignore (Pktio.deliver io (frame 8080));
+  ignore (Pktio.deliver io (frame 9090));
+  ignore (Pktio.deliver io (frame 53));
+  (match Pktio.rx_pop io ~nf:0 with
+  | Some (addr, len) -> begin
+    match Net.Packet.parse ~verify_checksums:false (Bytes.of_string (Physmem.read_bytes mem ~pos:addr ~len)) with
+    | Ok p -> Alcotest.(check int) "privileged port first" 53 p.Net.Packet.dst_port
+    | Error _ -> Alcotest.fail "parse"
+  end
+  | None -> Alcotest.fail "empty ring")
+
+let suite =
+  [
+    Alcotest.test_case "fifo order" `Quick test_fifo_order;
+    Alcotest.test_case "strict priority" `Quick test_priority_strict;
+    Alcotest.test_case "drr byte fairness" `Quick test_drr_fairness;
+    Alcotest.test_case "drr single flow" `Quick test_drr_single_flow_is_fifo;
+    Alcotest.test_case "wfq weights" `Quick test_wfq_weights;
+    Alcotest.test_case "wfq per-flow order" `Quick test_wfq_single_flow_order;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "iter/length" `Quick test_iter_sees_everything;
+    QCheck_alcotest.to_alcotest prop_all_policies_conserve;
+    Alcotest.test_case "priority pipeline end-to-end" `Quick test_pktio_priority_pipeline;
+  ]
