@@ -611,6 +611,41 @@ let offload_motivation () =
   print_endline "(offload removes the PCIe round trip and halves $/Mpps; S-NIC's isolation";
   print_endline " tax — 1.7% IPC worst-case + the silicon overhead — barely dents either)"
 
+(* ------------------------------------------------------------------ *)
+(* Fleet orchestration: placement policies on a heterogeneous rack     *)
+(* ------------------------------------------------------------------ *)
+
+let fleet_section () =
+  header "Fleet orchestration: attested placement across a heterogeneous rack";
+  let policies = if fast then [ Fleet.Policy.First_fit; Fleet.Policy.Tco_aware ] else Fleet.Policy.all in
+  Printf.printf "%-10s %12s %12s %12s %12s %12s\n" "policy" "attested" "active NICs" "replacements" "forwarded"
+    "unattested";
+  List.iter
+    (fun policy ->
+      let report =
+        Fleet.Scenario.run
+          {
+            Fleet.Scenario.default_config with
+            Fleet.Scenario.n_nics = 6;
+            n_tenants = 18;
+            policy;
+            rounds = 2;
+            packets_per_round = 200;
+            kill_nics = 1;
+            kill_nfs = 2;
+          }
+      in
+      let forwarded =
+        List.fold_left (fun acc r -> acc + r.Fleet.Scenario.traffic.Fleet.Frontend.forwarded) 0
+          report.Fleet.Scenario.rounds
+      in
+      Printf.printf "%-10s %9d/18 %9d/%-2d %12d %12d %12d\n" (Fleet.Policy.name policy)
+        report.Fleet.Scenario.final_attested report.Fleet.Scenario.active_nics report.Fleet.Scenario.alive_nics
+        report.Fleet.Scenario.replacements forwarded report.Fleet.Scenario.unattested_running)
+    policies;
+  print_endline "(every placement goes through nf_create + the Appendix A attestation handshake;";
+  print_endline " consolidating policies power few NICs, spread activates the most)"
+
 let () =
   print_endline "S-NIC evaluation reproduction (EuroSys'24) — all tables and figures";
   if fast then print_endline "[--fast: reduced Figure 5 sweeps]";
@@ -639,5 +674,6 @@ let () =
   ablation_underutilization ();
   ablation_denylist ();
   ablation_translation ();
+  fleet_section ();
   microbenches ();
   print_endline "\nAll experiments complete. See EXPERIMENTS.md for paper-vs-measured notes."

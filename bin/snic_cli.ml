@@ -7,9 +7,16 @@
      snic_cli pack --mb X [--menu M]  — page packing for a region
      snic_cli ipc [--l2 BYTES --nfs N]— one IPC-degradation run
      snic_cli dpi --threads N --frame B — one Figure-8 point
-     snic_cli timeline                — Figure 7 series as CSV *)
+     snic_cli timeline                — Figure 7 series as CSV
+     snic_cli fleet [--nics N ...]    — seeded multi-NIC fleet scenario *)
 
 open Cmdliner
+
+(* One shared --seed flag: every trace-driven subcommand takes it, and
+   the same value reproduces the same run (the generators fall back to
+   their historic fixed seeds when it is omitted). *)
+let seed_arg =
+  Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc:"Seed for the synthetic trace generators")
 
 let attacks_cmd =
   let run () =
@@ -80,16 +87,18 @@ let pack_cmd =
 let ipc_cmd =
   let l2 = Arg.(value & opt int (4 lsl 20) & info [ "l2" ] ~doc:"L2 size in bytes") in
   let nfs = Arg.(value & opt int 4 & info [ "nfs" ] ~doc:"Co-tenancy degree (2-16)") in
-  let run l2 nfs =
+  let run l2 nfs seed =
     let names = List.init nfs (fun i -> List.nth Uarch.Workload.names (i mod 6)) in
     let streams =
-      Array.of_list (List.mapi (fun d n -> Uarch.Workload.rebase (Uarch.Workload.stream ~packets:800 n) ~domain:d) names)
+      Array.of_list
+        (List.mapi (fun d n -> Uarch.Workload.rebase (Uarch.Workload.stream ~packets:800 ?seed n) ~domain:d) names)
     in
     Array.iter
       (fun (nf, d) -> Printf.printf "%-5s IPC degradation %.2f%%\n" nf d)
       (Uarch.Cpu_model.degradation ~l2_bytes:l2 streams)
   in
-  Cmd.v (Cmd.info "ipc" ~doc:"One IPC-degradation colocation run (Figure 5 point)") Term.(const run $ l2 $ nfs)
+  Cmd.v (Cmd.info "ipc" ~doc:"One IPC-degradation colocation run (Figure 5 point)")
+    Term.(const run $ l2 $ nfs $ seed_arg)
 
 let dpi_cmd =
   let threads = Arg.(value & opt int 16 & info [ "threads" ] ~doc:"vDPI hardware threads") in
@@ -153,7 +162,7 @@ let table6_cmd =
 let fig5_cmd =
   let cotenancy = Arg.(value & opt int 4 & info [ "nfs" ] ~doc:"Co-tenancy degree") in
   let packets = Arg.(value & opt int 800 & info [ "packets" ] ~doc:"Packets per stream") in
-  let run cotenancy packets =
+  let run cotenancy packets seed =
     print_endline "nf,cotenancy,median_pct,p1_pct,p99_pct";
     List.iter
       (fun (nf, series) ->
@@ -162,9 +171,10 @@ let fig5_cmd =
             Printf.printf "%s,%d,%.3f,%.3f,%.3f\n" nf n s.Uarch.Colocation.median s.Uarch.Colocation.p1
               s.Uarch.Colocation.p99)
           series)
-      (Uarch.Colocation.figure5b ~cotenancy:[ cotenancy ] ~samples:4 ~packets ())
+      (Uarch.Colocation.figure5b ~cotenancy:[ cotenancy ] ~samples:4 ~packets ?seed ())
   in
-  Cmd.v (Cmd.info "fig5" ~doc:"Figure 5b IPC-degradation stats as CSV") Term.(const run $ cotenancy $ packets)
+  Cmd.v (Cmd.info "fig5" ~doc:"Figure 5b IPC-degradation stats as CSV")
+    Term.(const run $ cotenancy $ packets $ seed_arg)
 
 let fig8_cmd =
   let run () =
@@ -187,6 +197,56 @@ let timeline_cmd =
   in
   Cmd.v (Cmd.info "timeline" ~doc:"Figure 7 Monitor memory series as CSV") Term.(const run $ const ())
 
+let fleet_cmd =
+  let nics = Arg.(value & opt int 16 & info [ "nics" ] ~doc:"NICs in the rack") in
+  let tenants = Arg.(value & opt int 64 & info [ "tenants" ] ~doc:"Tenant NFs to place") in
+  let policy =
+    Arg.(value & opt string "first-fit"
+         & info [ "policy" ] ~docv:"POLICY" ~doc:"Placement policy: first-fit|best-fit|spread|tco-aware")
+  in
+  let rounds = Arg.(value & opt int 3 & info [ "rounds" ] ~doc:"Traffic rounds (failures strike between them)") in
+  let packets = Arg.(value & opt int 600 & info [ "packets" ] ~doc:"Packets replayed per round") in
+  let kill_nics = Arg.(value & opt int 2 & info [ "kill-nics" ] ~doc:"NIC failures injected over the run") in
+  let kill_nfs = Arg.(value & opt int 4 & info [ "kill-nfs" ] ~doc:"Orderly NF kills injected over the run") in
+  let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit per-tenant and per-NIC telemetry as CSV") in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the full telemetry tree as JSON") in
+  let run seed nics tenants policy rounds packets kill_nics kill_nfs csv json =
+    match Fleet.Policy.of_string policy with
+    | Error e ->
+      prerr_endline e;
+      exit 2
+    | Ok policy ->
+      let config =
+        {
+          Fleet.Scenario.default_config with
+          Fleet.Scenario.seed = Option.value seed ~default:Fleet.Scenario.default_config.Fleet.Scenario.seed;
+          n_nics = nics;
+          n_tenants = tenants;
+          policy;
+          rounds;
+          packets_per_round = packets;
+          kill_nics;
+          kill_nfs;
+        }
+      in
+      let report, orch = Fleet.Scenario.run_with config in
+      let telemetry = Fleet.Orchestrator.telemetry orch in
+      if json then print_string (Fleet.Telemetry.to_json telemetry)
+      else begin
+        print_string (Fleet.Scenario.summary report);
+        if csv then begin
+          print_newline ();
+          print_string (Fleet.Telemetry.tenants_csv telemetry);
+          print_newline ();
+          print_string (Fleet.Telemetry.nics_csv telemetry)
+        end
+      end;
+      if report.Fleet.Scenario.unattested_running > 0 || report.Fleet.Scenario.scrub_failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fleet" ~doc:"Seeded multi-NIC fleet scenario: attested placement, traffic, failure recovery")
+    Term.(const run $ seed_arg $ nics $ tenants $ policy $ rounds $ packets $ kill_nics $ kill_nfs $ csv $ json)
+
 let () =
   let info = Cmd.info "snic_cli" ~doc:"S-NIC (EuroSys'24) reproduction experiments" in
   exit
@@ -194,5 +254,5 @@ let () =
        (Cmd.group info
           [
             attacks_cmd; dos_cmd; covert_cmd; probe_cmd; tco_cmd; overhead_cmd; tlb_cmd; pack_cmd; table6_cmd;
-            ipc_cmd; dpi_cmd; fig5_cmd; fig8_cmd; timeline_cmd;
+            ipc_cmd; dpi_cmd; fig5_cmd; fig8_cmd; timeline_cmd; fleet_cmd;
           ]))

@@ -87,7 +87,7 @@ let () =
   (* 7. ...and teardown scrubs every byte before releasing the pages. *)
   (match Snic.Api.nf_destroy api ~id:(Snic.Vnic.id vnic) with
   | Ok () -> ()
-  | Error e -> failwith e);
+  | Error e -> failwith (Snic.Api.destroy_error_to_string e));
   let scrubbed =
     Nicsim.Physmem.is_zero (Nicsim.Machine.mem m) ~pos:handle.Snic.Instructions.mem_base
       ~len:handle.Snic.Instructions.mem_len

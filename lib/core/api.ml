@@ -2,13 +2,14 @@ open Nicsim
 
 type t = { instr : Instructions.t; vendor : Identity.vendor }
 
-let boot_with ?vendor ?(serial = "0001") config =
+let boot_with ?vendor ?(serial = "0001") ?identity_seed config =
   let vendor = match vendor with Some v -> v | None -> Identity.make_vendor ~name:"Simulated NIC Vendor" () in
   let machine = Machine.create config in
-  let identity = Identity.manufacture vendor ~serial in
+  let identity = Identity.manufacture ?seed:identity_seed vendor ~serial in
   { instr = Instructions.create machine identity; vendor }
 
-let boot ?vendor ?serial () = boot_with ?vendor ?serial (Machine.default_config ~mode:Machine.Snic)
+let boot ?vendor ?serial ?identity_seed () =
+  boot_with ?vendor ?serial ?identity_seed (Machine.default_config ~mode:Machine.Snic)
 
 let instructions t = t.instr
 let machine t = Instructions.machine t.instr
@@ -57,10 +58,19 @@ let nf_create t (config : Instructions.launch_config) =
     | Error e -> Error (Instructions.error_to_string e)
   end
 
+type destroy_error = Already_destroyed of int | Never_created of int | Destroy_failed of string
+
+let destroy_error_to_string = function
+  | Already_destroyed id -> Printf.sprintf "function %d was already destroyed" id
+  | Never_created id -> Printf.sprintf "no function with id %d was ever created" id
+  | Destroy_failed msg -> msg
+
 let nf_destroy t ~id =
   match Instructions.nf_teardown t.instr ~id with
   | Ok _ -> Ok ()
-  | Error e -> Error (Instructions.error_to_string e)
+  | Error (Instructions.Function_destroyed id) -> Error (Already_destroyed id)
+  | Error (Instructions.Unknown_function id) -> Error (Never_created id)
+  | Error e -> Error (Destroy_failed (Instructions.error_to_string e))
 
 let inject t frame = Pktio.deliver (Machine.pktio (machine t)) frame
 let inject_packet t pkt = inject t (Net.Packet.serialize pkt)

@@ -8,13 +8,17 @@
 
 type t
 
-(** [create ?vendor ?serial machine_config] boots a fresh S-NIC: builds
-    the machine in [Snic] mode with its manufactured identity. *)
-val boot : ?vendor:Identity.vendor -> ?serial:string -> unit -> t
+(** [create ?vendor ?serial ?identity_seed machine_config] boots a fresh
+    S-NIC: builds the machine in [Snic] mode with its manufactured
+    identity. [identity_seed] seeds EK/AK generation — give every NIC in
+    a deployment its own so their identities are cryptographically
+    distinct (the default reuses one fixed seed, fine for single-NIC
+    tests). *)
+val boot : ?vendor:Identity.vendor -> ?serial:string -> ?identity_seed:int -> unit -> t
 
 (** Boot against a caller-supplied machine configuration (must be Snic
     mode). *)
-val boot_with : ?vendor:Identity.vendor -> ?serial:string -> Nicsim.Machine.config -> t
+val boot_with : ?vendor:Identity.vendor -> ?serial:string -> ?identity_seed:int -> Nicsim.Machine.config -> t
 
 val instructions : t -> Instructions.t
 val machine : t -> Nicsim.Machine.t
@@ -26,8 +30,20 @@ val vendor : t -> Identity.vendor
     launches. Returns the running function's virtual NIC. *)
 val nf_create : t -> Instructions.launch_config -> (Vnic.t, string) result
 
+(** Why [nf_destroy] can fail, split so management layers can react
+    differently: a double-destroy ([Already_destroyed]) is usually a
+    benign race (e.g. a fleet orchestrator reaping a function it already
+    tore down), while destroying an id that never existed
+    ([Never_created]) is a caller bug. *)
+type destroy_error =
+  | Already_destroyed of int (* id was live once; teardown already ran *)
+  | Never_created of int (* no function with this id was ever launched *)
+  | Destroy_failed of string (* any other hardware-level refusal *)
+
+val destroy_error_to_string : destroy_error -> string
+
 (** [nf_destroy t ~id] — Table 1's [NF_destroy(nf_id)]. *)
-val nf_destroy : t -> id:int -> (unit, string) result
+val nf_destroy : t -> id:int -> (unit, destroy_error) result
 
 (** [inject t frame] puts a frame on the simulated wire (RX path). *)
 val inject : t -> Bytes.t -> (int, string) result

@@ -44,6 +44,7 @@ type error =
   | Accel_unavailable of Accel.kind
   | Too_many_functions
   | Unknown_function of int
+  | Function_destroyed of int
 
 let error_to_string = function
   | Not_an_snic -> "machine is not an S-NIC"
@@ -54,11 +55,13 @@ let error_to_string = function
   | Accel_unavailable k -> "no free " ^ Accel.kind_name k ^ " cluster"
   | Too_many_functions -> "all isolation domains in use"
   | Unknown_function id -> Printf.sprintf "no function with id %d" id
+  | Function_destroyed id -> Printf.sprintf "function %d was already destroyed" id
 
 type t = {
   machine : Machine.t;
   identity : Identity.t;
   mutable live : handle list;
+  mutable retired : int list; (* ids torn down and not yet reused *)
   max_functions : int;
 }
 
@@ -66,7 +69,7 @@ let vbase = 0x10000000
 
 let create machine identity =
   if Machine.mode machine <> Machine.Snic then invalid_arg "Instructions.create: machine must be in Snic mode";
-  { machine; identity; live = []; max_functions = Bus.clients (Machine.bus machine) }
+  { machine; identity; live = []; retired = []; max_functions = Bus.clients (Machine.bus machine) }
 
 let machine t = t.machine
 let identity t = t.identity
@@ -202,6 +205,8 @@ let nf_launch t (config : launch_config) =
       in
       let handle = { id; cores = config.cores; mem_base; mem_len; vbase; clusters = !claimed; measurement } in
       t.live <- handle :: t.live;
+      (* A reused id names a fresh function now; it is no longer "destroyed". *)
+      t.retired <- List.filter (fun i -> i <> id) t.retired;
       let latency =
         {
           tlb_setup = tlb_setup_cycles * (List.length config.cores + List.length !claimed);
@@ -230,7 +235,7 @@ let nf_attest t ~id ~group ~dh_public ~nonce =
 
 let nf_teardown t ~id =
   match find t ~id with
-  | None -> Error (Unknown_function id)
+  | None -> if List.mem id t.retired then Error (Function_destroyed id) else Error (Unknown_function id)
   | Some h ->
     let m = t.machine in
     (* Scrub RAM and microarchitectural state before releasing anything. *)
@@ -250,4 +255,5 @@ let nf_teardown t ~id =
     Machine.unbind_cores m ~nf:id;
     Alloc.free (Machine.alloc m) h.mem_base;
     t.live <- List.filter (fun x -> x.id <> id) t.live;
+    t.retired <- id :: t.retired;
     Ok { allowlist = denylist_cycles_per_page * (h.mem_len / Physmem.page_size); scrub = scrub_cycles_per_byte * h.mem_len }

@@ -40,6 +40,11 @@ type error =
   | Accel_unavailable of Nicsim.Accel.kind
   | Too_many_functions
   | Unknown_function of int
+  | Function_destroyed of int
+      (* the id was live once but has been torn down (and not reused);
+         distinct from [Unknown_function] so management layers can treat a
+         double-destroy as benign while a destroy of a never-launched id
+         signals a caller bug (fleet re-placement relies on this). *)
 
 val error_to_string : error -> string
 

@@ -1,0 +1,78 @@
+type report = {
+  nics_killed : int list;
+  nfs_killed : int list;
+  displaced : int;
+  replaced : int;
+  stranded : int;
+  scrub_failures : int;
+}
+
+let pick_distinct rng pool n =
+  let pool = Array.copy pool in
+  Trace.Rng.shuffle rng pool;
+  Array.to_list (Array.sub pool 0 (min n (Array.length pool)))
+
+let inject orch rng ~kill_nics ~kill_nfs =
+  let telemetry = Orchestrator.telemetry orch in
+  let displaced = ref [] and scrub_failures = ref 0 in
+  (* NIC deaths first: they also decide which tenants are eligible for
+     the orderly NF kills below. *)
+  let alive_nodes = Array.of_list (List.filter Node.alive (Array.to_list (Orchestrator.nodes orch))) in
+  let victims = pick_distinct rng alive_nodes kill_nics in
+  List.iter
+    (fun node ->
+      Node.kill node;
+      Telemetry.nic_kill telemetry;
+      Array.iter
+        (fun (tn : Orchestrator.tenant) ->
+          match tn.Orchestrator.placement with
+          | Some p when Node.id p.Orchestrator.node = Node.id node ->
+            let ns = Telemetry.nic telemetry (Node.id node) in
+            ns.Telemetry.lost <- ns.Telemetry.lost + 1;
+            Orchestrator.evict orch tn;
+            displaced := tn :: !displaced
+          | _ -> ())
+        (Orchestrator.tenants orch))
+    victims;
+  let nics_killed = List.map Node.id victims in
+  (* Orderly NF kills: real nf_destroy, scrub verified. *)
+  let placed =
+    Array.of_list
+      (List.filter (fun (tn : Orchestrator.tenant) -> tn.Orchestrator.placement <> None)
+         (Array.to_list (Orchestrator.tenants orch)))
+  in
+  let nf_victims = pick_distinct rng placed kill_nfs in
+  List.iter
+    (fun (tn : Orchestrator.tenant) ->
+      match tn.Orchestrator.placement with
+      | None -> ()
+      | Some p ->
+        let node = p.Orchestrator.node in
+        let handle = Snic.Vnic.handle p.Orchestrator.vnic in
+        Telemetry.nf_kill telemetry;
+        (match Snic.Api.nf_destroy (Node.api node) ~id:handle.Snic.Instructions.id with
+        | Ok () ->
+          let mem = Nicsim.Machine.mem (Snic.Api.machine (Node.api node)) in
+          if
+            Nicsim.Physmem.is_zero mem ~pos:handle.Snic.Instructions.mem_base ~len:handle.Snic.Instructions.mem_len
+          then begin
+            let ns = Telemetry.nic telemetry (Node.id node) in
+            ns.Telemetry.scrubs_verified <- ns.Telemetry.scrubs_verified + 1
+          end
+          else incr scrub_failures
+        | Error _ -> incr scrub_failures);
+        Orchestrator.evict orch tn;
+        displaced := tn :: !displaced)
+    nf_victims;
+  let nfs_killed = List.map (fun (tn : Orchestrator.tenant) -> tn.Orchestrator.tid) nf_victims in
+  (* Recovery: re-place + re-attest, lowest tenant id first. *)
+  let displaced = List.sort (fun a b -> compare a.Orchestrator.tid b.Orchestrator.tid) !displaced in
+  let replaced = List.length (List.filter (fun tn -> Orchestrator.replace orch tn) displaced) in
+  {
+    nics_killed;
+    nfs_killed;
+    displaced = List.length displaced;
+    replaced;
+    stranded = List.length displaced - replaced;
+    scrub_failures = !scrub_failures;
+  }

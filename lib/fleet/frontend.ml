@@ -1,0 +1,64 @@
+type stats = { injected : int; undeliverable : int; forwarded : int; dropped : int }
+
+let drain orch (tenant : Orchestrator.tenant) ~max =
+  match tenant.Orchestrator.placement with
+  | None -> (0, 0, 0)
+  | Some p ->
+    let rs = Snic.Vnic.process p.Orchestrator.vnic p.Orchestrator.nf ~max in
+    let ts = Telemetry.tenant (Orchestrator.telemetry orch) tenant.Orchestrator.tid in
+    ts.Telemetry.received <- ts.Telemetry.received + rs.Snic.Vnic.received;
+    ts.Telemetry.forwarded <- ts.Telemetry.forwarded + rs.Snic.Vnic.forwarded;
+    ts.Telemetry.dropped <- ts.Telemetry.dropped + rs.Snic.Vnic.dropped;
+    ts.Telemetry.faults <- ts.Telemetry.faults + rs.Snic.Vnic.faults;
+    (rs.Snic.Vnic.received, rs.Snic.Vnic.forwarded, rs.Snic.Vnic.dropped)
+
+let replay ?(batch = 32) ?(n_flows = 512) orch ~seed ~packets () =
+  let trace = Trace.Tracegen.ictf_like ~n_flows ~seed ~packets () in
+  let tenants = Orchestrator.tenants orch in
+  let n_tenants = Array.length tenants in
+  let telemetry = Orchestrator.telemetry orch in
+  let injected = ref 0 and undeliverable = ref 0 and forwarded = ref 0 and dropped = ref 0 in
+  let rng = Trace.Rng.create ~seed:(seed lxor 0xF00D) in
+  Array.iteri
+    (fun i (ev : Trace.Tracegen.event) ->
+      let flow = trace.Trace.Tracegen.flows.(ev.Trace.Tracegen.flow) in
+      let tenant = tenants.(Net.Five_tuple.hash flow mod n_tenants) in
+      (match tenant.Orchestrator.placement with
+      | None -> incr undeliverable
+      | Some p ->
+        (* Front-end steering: rewrite the destination port so the NIC's
+           switch rule for this tenant matches. *)
+        let payload_len =
+          max 0 (Trace.Flowgen.payload_for_frame ~frame_size:ev.Trace.Tracegen.size ~proto:Net.Packet.Udp)
+        in
+        let pkt = Trace.Flowgen.packet_of_flow ~payload_len rng flow in
+        let pkt = { pkt with Net.Packet.dst_port = tenant.Orchestrator.port } in
+        let node = p.Orchestrator.node in
+        (match Snic.Api.inject_packet (Node.api node) pkt with
+        | Ok _ ->
+          incr injected;
+          let ns = Telemetry.nic telemetry (Node.id node) in
+          ns.Telemetry.injected <- ns.Telemetry.injected + 1
+        | Error _ -> incr dropped);
+        (* Drain the tenant's pipeline every [batch] injections so the
+           small per-NF buffer pools keep recycling. *)
+        if (i + 1) mod batch = 0 then
+          Array.iter
+            (fun tn ->
+              let _, f, d = drain orch tn ~max:batch in
+              forwarded := !forwarded + f;
+              dropped := !dropped + d)
+            tenants))
+    trace.Trace.Tracegen.events;
+  (* Final drain until every pipeline is empty. *)
+  Array.iter
+    (fun tn ->
+      let rec go () =
+        let r, f, d = drain orch tn ~max:batch in
+        forwarded := !forwarded + f;
+        dropped := !dropped + d;
+        if r > 0 then go ()
+      in
+      go ())
+    tenants;
+  { injected = !injected; undeliverable = !undeliverable; forwarded = !forwarded; dropped = !dropped }

@@ -1,0 +1,68 @@
+(** The fleet control plane: boots a rack of heterogeneous S-NICs,
+    places tenant NFs on them through the real management API
+    ([nf_create]), and runs the Appendix A attestation handshake for
+    every placement before the tenant's NF is considered live.
+
+    Everything is driven by one seed: NIC identities, tenant demands and
+    the attestation transcripts are all deterministic functions of it, so
+    a scenario replays byte-for-byte. *)
+
+type config = {
+  seed : int;
+  n_nics : int;
+  n_tenants : int;
+  policy : Policy.t;
+  bytes_per_mb : int; (* memory scale: profiled MB -> simulated bytes *)
+}
+
+(** 16 NICs, 64 tenants, first-fit, 1 KB per profiled MB, seed 42. *)
+val default_config : config
+
+type placement = { node : Node.t; vnic : Snic.Vnic.t; nf : Nf.Types.t }
+
+type tenant = {
+  tid : int;
+  port : int; (* the dst_port the front-end steers to this tenant *)
+  demand : Workload.demand;
+  mutable placement : placement option;
+  mutable attested : bool;
+}
+
+type t
+
+(** [create config] boots the NICs and places + attests every tenant. *)
+val create : config -> t
+
+val config : t -> config
+val nodes : t -> Node.t array
+val tenants : t -> tenant array
+val telemetry : t -> Telemetry.t
+val vendor : t -> Snic.Identity.vendor
+
+(** [place t tenant] — run the policy, [nf_create], then attest. [false]
+    when no NIC admits the demand or (never in a healthy fleet) the
+    attestation fails; telemetry records which. *)
+val place : t -> tenant -> bool
+
+(** [place] + a replacement tick in telemetry (failure-recovery path). *)
+val replace : t -> tenant -> bool
+
+(** [evict t tenant] — the tenant lost its NF (its NIC died or the NF
+    was killed); clears the placement and operator-side accounting.
+    Does not touch the (possibly dead) hardware. *)
+val evict : t -> tenant -> unit
+
+(** {2 Invariant probes (the acceptance checks)} *)
+
+(** Placed-and-attested tenant count. *)
+val attested_count : t -> int
+
+(** Tenants with no placement right now. *)
+val unplaced_count : t -> int
+
+(** Functions live on *alive* NICs that do not correspond to an
+    attested tenant placement — must be 0 at all quiesce points. *)
+val unattested_running : t -> int
+
+(** Live function count across alive NICs (hardware's own view). *)
+val live_nf_total : t -> int

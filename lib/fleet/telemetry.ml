@@ -1,0 +1,123 @@
+type tenant_stats = {
+  mutable placements : int;
+  mutable attest_failures : int;
+  mutable evictions : int;
+  mutable received : int;
+  mutable forwarded : int;
+  mutable dropped : int;
+  mutable faults : int;
+}
+
+type nic_stats = {
+  mutable hosted : int;
+  mutable lost : int;
+  mutable scrubs_verified : int;
+  mutable injected : int;
+}
+
+type t = {
+  tenants : (int, tenant_stats) Hashtbl.t;
+  nics : (int, nic_stats) Hashtbl.t;
+  mutable placement_failures : int;
+  mutable replacements : int;
+  mutable nic_kills : int;
+  mutable nf_kills : int;
+  mutable attest_ms : float;
+}
+
+let create () =
+  {
+    tenants = Hashtbl.create 64;
+    nics = Hashtbl.create 16;
+    placement_failures = 0;
+    replacements = 0;
+    nic_kills = 0;
+    nf_kills = 0;
+    attest_ms = 0.;
+  }
+
+let tenant t id =
+  match Hashtbl.find_opt t.tenants id with
+  | Some s -> s
+  | None ->
+    let s = { placements = 0; attest_failures = 0; evictions = 0; received = 0; forwarded = 0; dropped = 0; faults = 0 } in
+    Hashtbl.replace t.tenants id s;
+    s
+
+let nic t id =
+  match Hashtbl.find_opt t.nics id with
+  | Some s -> s
+  | None ->
+    let s = { hosted = 0; lost = 0; scrubs_verified = 0; injected = 0 } in
+    Hashtbl.replace t.nics id s;
+    s
+
+let placement_failure t = t.placement_failures <- t.placement_failures + 1
+let replacement t = t.replacements <- t.replacements + 1
+let nic_kill t = t.nic_kills <- t.nic_kills + 1
+let nf_kill t = t.nf_kills <- t.nf_kills + 1
+let add_attest_ms t ms = t.attest_ms <- t.attest_ms +. ms
+let placement_failures t = t.placement_failures
+let replacements t = t.replacements
+let nic_kills t = t.nic_kills
+let nf_kills t = t.nf_kills
+let attest_ms_total t = t.attest_ms
+
+let sum_tenants t f = Hashtbl.fold (fun _ s acc -> acc + f s) t.tenants 0
+let total_attests t = sum_tenants t (fun s -> s.placements)
+let total_forwarded t = sum_tenants t (fun s -> s.forwarded)
+let total_dropped t = sum_tenants t (fun s -> s.dropped)
+
+let sorted_bindings tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+let tenants_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "tenant,placements,attest_failures,evictions,received,forwarded,dropped,faults\n";
+  List.iter
+    (fun (id, s) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d,%d,%d,%d,%d,%d,%d\n" id s.placements s.attest_failures s.evictions s.received
+           s.forwarded s.dropped s.faults))
+    (sorted_bindings t.tenants);
+  Buffer.contents buf
+
+let nics_csv t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "nic,hosted,lost,scrubs_verified,injected\n";
+  List.iter
+    (fun (id, s) ->
+      Buffer.add_string buf (Printf.sprintf "%d,%d,%d,%d,%d\n" id s.hosted s.lost s.scrubs_verified s.injected))
+    (sorted_bindings t.nics);
+  Buffer.contents buf
+
+let to_json t =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"fleet\": {\"placement_failures\": %d, \"replacements\": %d, \"nic_kills\": %d, \"nf_kills\": %d, \
+        \"attest_ms\": %.3f},\n"
+       t.placement_failures t.replacements t.nic_kills t.nf_kills t.attest_ms);
+  Buffer.add_string buf "  \"tenants\": [\n";
+  let tenants = sorted_bindings t.tenants in
+  List.iteri
+    (fun i (id, s) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"tenant\": %d, \"placements\": %d, \"attest_failures\": %d, \"evictions\": %d, \"received\": %d, \
+            \"forwarded\": %d, \"dropped\": %d, \"faults\": %d}%s\n"
+           id s.placements s.attest_failures s.evictions s.received s.forwarded s.dropped s.faults
+           (if i = List.length tenants - 1 then "" else ",")))
+    tenants;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"nics\": [\n";
+  let nics = sorted_bindings t.nics in
+  List.iteri
+    (fun i (id, s) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"nic\": %d, \"hosted\": %d, \"lost\": %d, \"scrubs_verified\": %d, \"injected\": %d}%s\n"
+           id s.hosted s.lost s.scrubs_verified s.injected
+           (if i = List.length nics - 1 then "" else ",")))
+    nics;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf

@@ -1,0 +1,61 @@
+(** Per-tenant and per-NIC counters for a fleet run, exportable as CSV
+    or JSON.
+
+    The orchestrator, front-end and failure injector all report here;
+    nothing in this module touches the simulation, so exporting is pure
+    and a seeded run always serializes to byte-identical output (the
+    determinism tests diff these exports). *)
+
+type tenant_stats = {
+  mutable placements : int; (* successful nf_create+attest cycles *)
+  mutable attest_failures : int;
+  mutable evictions : int; (* NF lost to a NIC/NF failure *)
+  mutable received : int; (* packets its NF drained *)
+  mutable forwarded : int;
+  mutable dropped : int;
+  mutable faults : int; (* isolation faults while processing *)
+}
+
+type nic_stats = {
+  mutable hosted : int; (* placements that landed here (cumulative) *)
+  mutable lost : int; (* NFs lost when this NIC died *)
+  mutable scrubs_verified : int; (* teardowns whose RAM we checked zero *)
+  mutable injected : int; (* frames the front-end pushed at this NIC *)
+}
+
+type t
+
+val create : unit -> t
+val tenant : t -> int -> tenant_stats
+val nic : t -> int -> nic_stats
+
+(** {2 Fleet-wide counters} *)
+
+val placement_failure : t -> unit
+val replacement : t -> unit
+val nic_kill : t -> unit
+val nf_kill : t -> unit
+
+(** Accumulate the modeled attestation latency ({!Memprof.Instr_latency.attest_ms}). *)
+val add_attest_ms : t -> float -> unit
+
+val placement_failures : t -> int
+val replacements : t -> int
+val nic_kills : t -> int
+val nf_kills : t -> int
+val attest_ms_total : t -> float
+
+val total_attests : t -> int
+val total_forwarded : t -> int
+val total_dropped : t -> int
+
+(** {2 Export} *)
+
+(** [tenants_csv t] — one row per tenant id (sorted), header included. *)
+val tenants_csv : t -> string
+
+(** [nics_csv t] — one row per NIC id (sorted), header included. *)
+val nics_csv : t -> string
+
+(** [to_json t] — the whole telemetry tree as a single JSON object. *)
+val to_json : t -> string

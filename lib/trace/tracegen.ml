@@ -53,8 +53,8 @@ let distinct_flows_before t cutoff_us =
   Array.iter (fun e -> if e.time_us <= cutoff_us then Hashtbl.replace seen e.flow ()) t.events;
   Hashtbl.length seen
 
-let packets t =
-  let rng = Rng.create ~seed:0x7ace in
+let packets ?(seed = 0x7ace) t =
+  let rng = Rng.create ~seed in
   Array.to_seq t.events
   |> Seq.map (fun e ->
          let flow = t.flows.(e.flow) in

@@ -27,7 +27,9 @@ val caida_like : ?flows_per_sec:int -> ?skew:float -> seed:int -> duration_s:flo
 (** Number of distinct flows seen in the first [t] microseconds. *)
 val distinct_flows_before : t -> int -> int
 
-(** Replay as parsed packets (materialized lazily). *)
-val packets : t -> Net.Packet.t Seq.t
+(** Replay as parsed packets (materialized lazily). [seed] drives
+    payload materialization only — the flows and event schedule are fixed
+    by the trace (default [0x7ace]). *)
+val packets : ?seed:int -> t -> Net.Packet.t Seq.t
 
 val event_count : t -> int

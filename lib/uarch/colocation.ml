@@ -23,27 +23,27 @@ let stats_of values =
 
 let mean = function [] -> 0. | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
 
-let run_mix ?packets ~l2_bytes names =
+let run_mix ?packets ?seed ~l2_bytes names =
   let streams =
-    Array.of_list (List.mapi (fun d name -> Workload.rebase (Workload.stream ?packets name) ~domain:d) names)
+    Array.of_list (List.mapi (fun d name -> Workload.rebase (Workload.stream ?packets ?seed name) ~domain:d) names)
   in
   Cpu_model.degradation ~l2_bytes streams
 
-let pair_degradations ?packets ~l2_bytes target =
+let pair_degradations ?packets ?seed ~l2_bytes target =
   List.map
     (fun partner ->
-      let degs = run_mix ?packets ~l2_bytes [ target; partner ] in
+      let degs = run_mix ?packets ?seed ~l2_bytes [ target; partner ] in
       snd degs.(0))
     Workload.names
 
-let figure5a ?(l2_sizes = default_l2_sizes) ?packets () =
+let figure5a ?(l2_sizes = default_l2_sizes) ?packets ?seed () =
   List.map
     (fun nf ->
       ( nf,
-        List.map (fun size -> (size, stats_of (pair_degradations ?packets ~l2_bytes:size nf))) l2_sizes ))
+        List.map (fun size -> (size, stats_of (pair_degradations ?packets ?seed ~l2_bytes:size nf))) l2_sizes ))
     Workload.names
 
-let figure5b ?(cotenancy = default_cotenancy) ?(samples = 6) ?packets () =
+let figure5b ?(cotenancy = default_cotenancy) ?(samples = 6) ?packets ?seed () =
   let l2_bytes = 4 lsl 20 in
   let all = Array.of_list Workload.names in
   List.map
@@ -54,12 +54,15 @@ let figure5b ?(cotenancy = default_cotenancy) ?(samples = 6) ?packets () =
             (* Sample partner mixes deterministically; with 2 tenants all
                partners are enumerated instead. *)
             let degs =
-              if n = 2 then pair_degradations ?packets ~l2_bytes nf
+              if n = 2 then pair_degradations ?packets ?seed ~l2_bytes nf
               else begin
-                let rng = Trace.Rng.create ~seed:(0xC0 + n) in
+                (* The mix-sampling seed derives from the caller's seed
+                   when given (offset per degree so degrees stay
+                   decorrelated); the default preserves historic output. *)
+                let rng = Trace.Rng.create ~seed:(match seed with None -> 0xC0 + n | Some s -> s + 0xC0 + n) in
                 List.init samples (fun _ ->
                     let partners = List.init (n - 1) (fun _ -> Trace.Rng.pick rng all) in
-                    let degs = run_mix ?packets ~l2_bytes (nf :: partners) in
+                    let degs = run_mix ?packets ?seed ~l2_bytes (nf :: partners) in
                     snd degs.(0))
               end
             in

@@ -8,17 +8,21 @@
 
 type stats = { median : float; p1 : float; p99 : float }
 
-(** [pair_degradations ?packets ~l2_bytes target] — degradation of
-    [target] in each 2-NF colocation (one per possible partner). *)
-val pair_degradations : ?packets:int -> l2_bytes:int -> string -> float list
+(** [pair_degradations ?packets ?seed ~l2_bytes target] — degradation of
+    [target] in each 2-NF colocation (one per possible partner). [seed]
+    drives the underlying {!Workload.stream} traces (default [0x5EED]). *)
+val pair_degradations : ?packets:int -> ?seed:int -> l2_bytes:int -> string -> float list
 
 (** Figure 5a: per NF, per L2 size, stats over all 2-NF colocations.
     Default sizes are the paper's 8 KB .. 16 MB sweep. *)
-val figure5a : ?l2_sizes:int list -> ?packets:int -> unit -> (string * (int * stats) list) list
+val figure5a : ?l2_sizes:int list -> ?packets:int -> ?seed:int -> unit -> (string * (int * stats) list) list
 
 (** Figure 5b: per NF, per co-tenancy degree (default the paper's
-    {2,3,4,8,16}), stats over sampled colocation mixes at 4 MB L2. *)
-val figure5b : ?cotenancy:int list -> ?samples:int -> ?packets:int -> unit -> (string * (int * stats) list) list
+    {2,3,4,8,16}), stats over sampled colocation mixes at 4 MB L2.
+    [seed] drives both the workload traces and the partner-mix sampling;
+    omitting it reproduces the historic fixed-seed output. *)
+val figure5b :
+  ?cotenancy:int list -> ?samples:int -> ?packets:int -> ?seed:int -> unit -> (string * (int * stats) list) list
 
 val default_l2_sizes : int list
 val default_cotenancy : int list

@@ -1,0 +1,157 @@
+(* Fleet orchestrator: seeded end-to-end scenarios with attested
+   placement, failure injection and recovery, plus unit checks on the
+   placement machinery. *)
+
+let small_config policy =
+  {
+    Fleet.Scenario.default_config with
+    Fleet.Scenario.n_nics = 6;
+    n_tenants = 18;
+    policy;
+    rounds = 2;
+    packets_per_round = 120;
+    kill_nics = 1;
+    kill_nfs = 2;
+  }
+
+(* ---------- workload and node admission ---------- *)
+
+let test_demands_follow_profiles () =
+  List.iter
+    (fun kind ->
+      let d = Fleet.Workload.demand_of_kind kind in
+      Alcotest.(check bool)
+        (Fleet.Workload.kind_name kind ^ " has memory")
+        true (d.Fleet.Workload.mem_bytes > 0);
+      Alcotest.(check int) "one core" 1 d.Fleet.Workload.cores;
+      (* TLB budgeting uses the full-scale regions: the Monitor's Table 5
+         headline number must fall out unchanged. *)
+      if kind = Fleet.Workload.Mon then
+        Alcotest.(check int) "Mon equal-2MB entries" 183
+          (Fleet.Workload.tlb_entries d ~page_sizes:Costmodel.Page_packing.equal_2mb))
+    Fleet.Workload.all_kinds
+
+let test_small_nic_rejects_monitor () =
+  let vendor = Snic.Identity.make_vendor ~seed:7 ~name:"t" () in
+  let node = Fleet.Node.boot ~vendor ~id:0 Fleet.Node.small in
+  let mon = Fleet.Workload.demand_of_kind Fleet.Workload.Mon in
+  let fw = Fleet.Workload.demand_of_kind Fleet.Workload.Fw in
+  (* 183 locked entries under Equal-2MB vs a 96-entry budget. *)
+  Alcotest.(check bool) "Mon does not fit a small NIC" false (Fleet.Node.admits node mon);
+  Alcotest.(check bool) "FW fits" true (Fleet.Node.admits node fw);
+  let medium = Fleet.Node.boot ~vendor ~id:1 Fleet.Node.medium in
+  Alcotest.(check bool) "Mon fits a flex-menu NIC" true (Fleet.Node.admits medium mon);
+  Fleet.Node.kill medium;
+  Alcotest.(check bool) "dead NICs admit nothing" false (Fleet.Node.admits medium fw)
+
+let test_policy_names_roundtrip () =
+  List.iter
+    (fun p ->
+      match Fleet.Policy.of_string (Fleet.Policy.name p) with
+      | Ok p' -> Alcotest.(check bool) "roundtrip" true (p = p')
+      | Error e -> Alcotest.fail e)
+    Fleet.Policy.all;
+  Alcotest.(check bool) "unknown rejected" true (Result.is_error (Fleet.Policy.of_string "round-robin"))
+
+(* ---------- end-to-end scenario invariants ---------- *)
+
+let check_invariants policy =
+  let report, orch = Fleet.Scenario.run_with (small_config policy) in
+  let name = Fleet.Policy.name policy in
+  (* Everyone gets placed and attested at boot on this rack. *)
+  Alcotest.(check int) (name ^ ": all tenants attested at boot") 18 report.Fleet.Scenario.initial_attested;
+  (* Failures were injected and recovered: nobody is left unplaced, and
+     every surviving tenant is attested. *)
+  Alcotest.(check bool) (name ^ ": failures were injected") true
+    (Fleet.Telemetry.nic_kills (Fleet.Orchestrator.telemetry orch) = 1
+    && Fleet.Telemetry.nf_kills (Fleet.Orchestrator.telemetry orch) = 2);
+  Alcotest.(check bool) (name ^ ": replacements happened") true (report.Fleet.Scenario.replacements > 0);
+  Alcotest.(check int) (name ^ ": no tenant left unplaced") 0 report.Fleet.Scenario.final_unplaced;
+  Alcotest.(check int) (name ^ ": all tenants attested at end") 18 report.Fleet.Scenario.final_attested;
+  (* The acceptance invariants. *)
+  Alcotest.(check int) (name ^ ": zero unattested running NFs") 0 report.Fleet.Scenario.unattested_running;
+  Alcotest.(check int) (name ^ ": every verified teardown scrubbed") 0 report.Fleet.Scenario.scrub_failures;
+  (* The hardware agrees with the control plane's bookkeeping. *)
+  Alcotest.(check int) (name ^ ": live functions = attested placements") (Fleet.Orchestrator.attested_count orch)
+    (Fleet.Orchestrator.live_nf_total orch);
+  (* Traffic flowed. *)
+  let forwarded =
+    List.fold_left (fun acc r -> acc + r.Fleet.Scenario.traffic.Fleet.Frontend.forwarded) 0
+      report.Fleet.Scenario.rounds
+  in
+  Alcotest.(check bool) (name ^ ": traffic forwarded") true (forwarded > 0)
+
+let test_invariants_first_fit () = check_invariants Fleet.Policy.First_fit
+let test_invariants_spread () = check_invariants Fleet.Policy.Spread
+let test_invariants_tco_aware () = check_invariants Fleet.Policy.Tco_aware
+
+(* The acceptance-sized rack: 16 NICs, 64 tenants, end to end. *)
+let test_full_rack () =
+  let report, orch =
+    Fleet.Scenario.run_with
+      { Fleet.Scenario.default_config with Fleet.Scenario.rounds = 2; packets_per_round = 150 }
+  in
+  Alcotest.(check int) "64/64 placed and attested at boot" 64 report.Fleet.Scenario.initial_attested;
+  Alcotest.(check int) "64/64 attested at end" 64 report.Fleet.Scenario.final_attested;
+  Alcotest.(check bool) "recovered from failures" true (report.Fleet.Scenario.replacements > 0);
+  Alcotest.(check int) "zero unattested running" 0 report.Fleet.Scenario.unattested_running;
+  Alcotest.(check int) "zero scrub failures" 0 report.Fleet.Scenario.scrub_failures;
+  (* No Monitor tenant ever lands on an equal-2MB (small) NIC. *)
+  Array.iter
+    (fun tn ->
+      if tn.Fleet.Orchestrator.demand.Fleet.Workload.kind = Fleet.Workload.Mon then
+        match tn.Fleet.Orchestrator.placement with
+        | Some p ->
+          Alcotest.(check bool) "Mon on a flex-menu NIC" true
+            ((Fleet.Node.shape p.Fleet.Orchestrator.node).Fleet.Node.tlb_budget_per_core >= 51
+            || (Fleet.Node.shape p.Fleet.Orchestrator.node).Fleet.Node.page_menu
+               <> Costmodel.Page_packing.equal_2mb)
+        | None -> Alcotest.fail "Mon tenant unplaced")
+    (Fleet.Orchestrator.tenants orch)
+
+(* ---------- determinism ---------- *)
+
+let test_deterministic_replay () =
+  let run () =
+    let report, orch = Fleet.Scenario.run_with (small_config Fleet.Policy.Best_fit) in
+    let telemetry = Fleet.Orchestrator.telemetry orch in
+    ( Fleet.Scenario.summary report,
+      Fleet.Telemetry.tenants_csv telemetry,
+      Fleet.Telemetry.nics_csv telemetry,
+      Fleet.Telemetry.to_json telemetry )
+  in
+  let s1, t1, n1, j1 = run () in
+  let s2, t2, n2, j2 = run () in
+  Alcotest.(check string) "summary identical" s1 s2;
+  Alcotest.(check string) "tenant CSV identical" t1 t2;
+  Alcotest.(check string) "NIC CSV identical" n1 n2;
+  Alcotest.(check string) "JSON identical" j1 j2;
+  (* A different seed actually changes the run. *)
+  let report3, _ =
+    Fleet.Scenario.run_with { (small_config Fleet.Policy.Best_fit) with Fleet.Scenario.seed = 1234 }
+  in
+  Alcotest.(check bool) "different seed, different run" false (Fleet.Scenario.summary report3 = s1)
+
+(* Telemetry CSV export shape stays parseable. *)
+let test_csv_shape () =
+  let _, orch = Fleet.Scenario.run_with (small_config Fleet.Policy.First_fit) in
+  let csv = Fleet.Telemetry.tenants_csv (Fleet.Orchestrator.telemetry orch) in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "header + one row per tenant" 19 (List.length lines);
+  List.iter
+    (fun line ->
+      Alcotest.(check int) "8 columns" 8 (List.length (String.split_on_char ',' line)))
+    lines
+
+let suite =
+  [
+    Alcotest.test_case "demands follow Table 6 profiles" `Quick test_demands_follow_profiles;
+    Alcotest.test_case "small NIC rejects Monitor" `Quick test_small_nic_rejects_monitor;
+    Alcotest.test_case "policy names roundtrip" `Quick test_policy_names_roundtrip;
+    Alcotest.test_case "invariants: first-fit" `Slow test_invariants_first_fit;
+    Alcotest.test_case "invariants: spread" `Slow test_invariants_spread;
+    Alcotest.test_case "invariants: tco-aware" `Slow test_invariants_tco_aware;
+    Alcotest.test_case "full 16-NIC/64-tenant rack" `Slow test_full_rack;
+    Alcotest.test_case "deterministic replay" `Slow test_deterministic_replay;
+    Alcotest.test_case "telemetry CSV shape" `Slow test_csv_shape;
+  ]

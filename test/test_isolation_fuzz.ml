@@ -77,7 +77,7 @@ let fuzz_run seed =
         let h = Snic.Vnic.handle (Hashtbl.find live id) in
         (match Snic.Api.nf_destroy api ~id with
         | Ok () -> incr teardowns
-        | Error e -> Alcotest.fail e);
+        | Error e -> Alcotest.fail (Snic.Api.destroy_error_to_string e));
         Hashtbl.remove live id;
         (* Pages are free again: the OS may look, and must see zeroes. *)
         (match

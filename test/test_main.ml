@@ -19,4 +19,5 @@ let () =
       ("memprof", Test_memprof.suite);
       ("uarch", Test_uarch.suite);
       ("accelfn", Test_accelfn.suite);
+      ("fleet", Test_fleet.suite);
     ]

@@ -55,6 +55,49 @@ let prop_packing_monotone_entries =
       Costmodel.Page_packing.allocated ~page_sizes:Costmodel.Page_packing.flex_low [ bytes ]
       <= Costmodel.Page_packing.allocated ~page_sizes:Costmodel.Page_packing.equal_2mb [ bytes ])
 
+(* The decomposition maps the allocation with disjoint, exactly-covering
+   pages, so the entry count must bracket the allocation between
+   [entries x smallest] and [entries x largest] pages, and the allocation
+   itself must be page-aligned and a fixed point of re-packing. *)
+let prop_packing_entries_bracket_allocation =
+  QCheck.Test.make ~name:"packing entries exactly tile the allocation" ~count:300
+    (QCheck.pair (QCheck.int_bound 2) (QCheck.int_bound 500_000_000))
+    (fun (mi, bytes) ->
+      let menu = menus.(mi) in
+      let smallest = List.fold_left min max_int menu and largest = List.fold_left max 0 menu in
+      let alloc = Costmodel.Page_packing.allocated ~page_sizes:menu [ bytes ] in
+      let entries = Costmodel.Page_packing.entries ~page_sizes:menu [ bytes ] in
+      alloc mod smallest = 0
+      && entries * smallest <= alloc
+      && alloc <= entries * largest
+      && Costmodel.Page_packing.allocated ~page_sizes:menu [ alloc ] = alloc
+      && Costmodel.Page_packing.entries ~page_sizes:menu [ alloc ] = entries)
+
+(* Table 5's point, generalized: over the six Table-6 NF profiles (with
+   every region scaled by a common factor), the *largest* per-NF entry
+   count — what sizes the locked TLBs — is never worse under Flex-low
+   than under Equal-2MB. Note this is a property of the profile set, not
+   of single regions: a lone small region can cost Flex-low more entries
+   (e.g. 3 MB = 1x2MB + 8x128KB = 9 vs 2 under Equal). *)
+let scaled_profiles f =
+  List.map
+    (fun p -> List.map (fun r -> max 1 (int_of_float (float_of_int r *. f))) (Memprof.Profiles.regions p))
+    Memprof.Profiles.nfs
+
+let max_entries_over menu regionss =
+  List.fold_left (fun acc rs -> max acc (Costmodel.Page_packing.entries ~page_sizes:menu rs)) 0 regionss
+
+let prop_flex_low_max_entries_le_equal =
+  QCheck.Test.make ~name:"flex-low max entries <= equal-2MB over scaled NF profiles" ~count:200
+    (QCheck.float_bound_inclusive 7.75)
+    (fun df ->
+      let rs = scaled_profiles (0.25 +. df) in
+      max_entries_over Costmodel.Page_packing.flex_low rs <= max_entries_over Costmodel.Page_packing.equal_2mb rs)
+
+let test_table5_paper_point () =
+  Alcotest.(check int) "equal-2MB max entries" 183 (Memprof.Profiles.max_entries ~page_sizes:Costmodel.Page_packing.equal_2mb);
+  Alcotest.(check int) "flex-low max entries" 51 (Memprof.Profiles.max_entries ~page_sizes:Costmodel.Page_packing.flex_low)
+
 (* ---------- scheduler ordering properties ---------- *)
 
 let prop_priority_strictness =
@@ -133,6 +176,9 @@ let suite =
     QCheck_alcotest.to_alcotest prop_bit_length;
     QCheck_alcotest.to_alcotest prop_packing_covers;
     QCheck_alcotest.to_alcotest prop_packing_monotone_entries;
+    QCheck_alcotest.to_alcotest prop_packing_entries_bracket_allocation;
+    QCheck_alcotest.to_alcotest prop_flex_low_max_entries_le_equal;
+    Alcotest.test_case "Table 5 paper point (183 vs 51 entries)" `Quick test_table5_paper_point;
     QCheck_alcotest.to_alcotest prop_priority_strictness;
     QCheck_alcotest.to_alcotest prop_tlb_injective;
     QCheck_alcotest.to_alcotest prop_wire_roundtrip;

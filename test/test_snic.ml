@@ -142,6 +142,49 @@ let test_teardown_unknown () =
   | Error (Snic.Instructions.Unknown_function 7) -> ()
   | _ -> Alcotest.fail "expected Unknown_function"
 
+(* Double-destroy vs never-created are distinguishable failures, at the
+   instruction level and through the management API. *)
+let test_destroy_twice_vs_never_created () =
+  let api = boot () in
+  let instr = Snic.Api.instructions api in
+  let h, _ = Result.get_ok (Snic.Instructions.nf_launch instr basic_config) in
+  let id = h.Snic.Instructions.id in
+  (match Snic.Instructions.nf_teardown instr ~id with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Snic.Instructions.error_to_string e));
+  (* Second teardown: the id was live once, so this is Function_destroyed. *)
+  (match Snic.Instructions.nf_teardown instr ~id with
+  | Error (Snic.Instructions.Function_destroyed got) -> Alcotest.(check int) "destroyed id" id got
+  | Error e -> Alcotest.failf "expected Function_destroyed, got %s" (Snic.Instructions.error_to_string e)
+  | Ok _ -> Alcotest.fail "second teardown succeeded");
+  (* An id that never existed stays Unknown_function. *)
+  (match Snic.Instructions.nf_teardown instr ~id:9 with
+  | Error (Snic.Instructions.Unknown_function 9) -> ()
+  | _ -> Alcotest.fail "expected Unknown_function");
+  (* Same split through Api.nf_destroy. *)
+  (match Snic.Api.nf_destroy api ~id with
+  | Error (Snic.Api.Already_destroyed got) -> Alcotest.(check int) "api destroyed id" id got
+  | Error e -> Alcotest.failf "expected Already_destroyed, got %s" (Snic.Api.destroy_error_to_string e)
+  | Ok () -> Alcotest.fail "api double destroy succeeded");
+  match Snic.Api.nf_destroy api ~id:9 with
+  | Error (Snic.Api.Never_created 9) -> ()
+  | Error e -> Alcotest.failf "expected Never_created, got %s" (Snic.Api.destroy_error_to_string e)
+  | Ok () -> Alcotest.fail "destroying a never-created id succeeded"
+
+let test_destroy_after_id_reuse () =
+  let api = boot () in
+  let instr = Snic.Api.instructions api in
+  let h, _ = Result.get_ok (Snic.Instructions.nf_launch instr basic_config) in
+  let id = h.Snic.Instructions.id in
+  (match Snic.Instructions.nf_teardown instr ~id with Ok _ -> () | Error _ -> Alcotest.fail "teardown");
+  (* Relaunch reuses the slot: the id is live again, so destroying it is
+     a plain success and the retired marker is gone. *)
+  let h2, _ = Result.get_ok (Snic.Instructions.nf_launch instr basic_config) in
+  Alcotest.(check int) "slot reused" id h2.Snic.Instructions.id;
+  match Snic.Api.nf_destroy api ~id with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Snic.Api.destroy_error_to_string e)
+
 (* ---------- packets through a virtual NIC ---------- *)
 
 let test_vnic_packet_roundtrip () =
@@ -324,6 +367,8 @@ let suite =
     Alcotest.test_case "nf_launch unwinds on failure" `Quick test_launch_accel_exhaustion_unwinds;
     Alcotest.test_case "nf_teardown scrubs and releases" `Quick test_teardown_scrubs_and_releases;
     Alcotest.test_case "nf_teardown unknown id" `Quick test_teardown_unknown;
+    Alcotest.test_case "destroy twice vs never created" `Quick test_destroy_twice_vs_never_created;
+    Alcotest.test_case "destroy after id reuse" `Quick test_destroy_after_id_reuse;
     Alcotest.test_case "vnic packet roundtrip" `Quick test_vnic_packet_roundtrip;
     Alcotest.test_case "vnic runs real NAT" `Quick test_vnic_runs_real_nat;
     Alcotest.test_case "vnic cross isolation" `Quick test_vnic_cross_isolation;

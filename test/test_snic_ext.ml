@@ -411,3 +411,95 @@ let suite =
       Alcotest.test_case "mmio ownership lifecycle" `Quick test_mmio_ownership_lifecycle;
       Alcotest.test_case "mmio base validation" `Quick test_mmio_base_validation;
     ]
+
+(* ---------- attestation negative paths ---------- *)
+
+(* A NIC OS that stages a different image than the tenant requested
+   produces a measurement the verifier's independently-computed
+   expectation rejects — the §4.1 guarantee that mis-staging cannot be
+   hidden. *)
+let test_mis_staged_image_fails_verification () =
+  let api = Snic.Api.boot () in
+  let requested = { Snic.Instructions.default_config with image = "tenant-image-v1" } in
+  (* The OS quietly swaps the image before launching. *)
+  let vnic =
+    Result.get_ok (Snic.Api.nf_create api { requested with Snic.Instructions.image = "trojaned-image" })
+  in
+  let h = Snic.Vnic.handle vnic in
+  (* The tenant computes the measurement it expects from the config it
+     asked for plus the launch-reported cores and RAM window. *)
+  let expected =
+    Snic.Measurement.of_config ~image:requested.Snic.Instructions.image ~cores:h.Snic.Instructions.cores
+      ~mem_base:h.Snic.Instructions.mem_base ~mem_len:h.Snic.Instructions.mem_len
+      ~rules:requested.Snic.Instructions.rules ~accels:requested.Snic.Instructions.accels
+      ~rx_bytes:requested.Snic.Instructions.rx_bytes ~tx_bytes:requested.Snic.Instructions.tx_bytes
+      ~sched:requested.Snic.Instructions.sched
+  in
+  let attester =
+    Result.get_ok (Snic.Attestation.attester_of_nf (Snic.Api.instructions api) ~id:(Snic.Vnic.id vnic))
+  in
+  let rng = Random.State.make [| 23 |] in
+  let nonce = "mis-staging-nonce" in
+  let _, quote = Snic.Attestation.respond rng attester ~nonce in
+  let vendor_public = Snic.Identity.vendor_public (Snic.Api.vendor api) in
+  (match Snic.Attestation.verify rng ~vendor_public ~expected_measurement:expected ~nonce quote with
+  | Error (Snic.Attestation.Unexpected_measurement { expected = e; got }) ->
+    Alcotest.(check string) "expected is the tenant's" (Crypto.Sha256.to_hex expected) (Crypto.Sha256.to_hex e);
+    Alcotest.(check bool) "got differs" false (String.equal e got)
+  | Error e -> Alcotest.failf "wrong error: %s" (Snic.Attestation.verify_error_to_string e)
+  | Ok _ -> Alcotest.fail "mis-staged image passed verification");
+  (* The full session protocol refuses too. *)
+  match Snic.Session.handshake rng ~vendor_public ~expected_measurement:expected attester with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "session handshake accepted a mis-staged image"
+
+(* A quote only verifies against the vendor that certified the NIC that
+   produced it: NIC identities are not interchangeable. *)
+let test_quote_bound_to_nic_identity () =
+  let vendor_a = Snic.Identity.make_vendor ~seed:101 ~name:"Vendor A" () in
+  let vendor_b = Snic.Identity.make_vendor ~seed:202 ~name:"Vendor B" () in
+  let api_a =
+    Snic.Api.boot_with ~vendor:vendor_a ~serial:"A-1" ~identity_seed:111 (Machine.default_config ~mode:Machine.Snic)
+  in
+  let api_b =
+    Snic.Api.boot_with ~vendor:vendor_b ~serial:"B-1" ~identity_seed:222 (Machine.default_config ~mode:Machine.Snic)
+  in
+  let launch api img = Result.get_ok (Snic.Api.nf_create api { Snic.Instructions.default_config with image = img }) in
+  let v_a = launch api_a "img-a" and v_b = launch api_b "img-b" in
+  let attester_of api v =
+    Result.get_ok (Snic.Attestation.attester_of_nf (Snic.Api.instructions api) ~id:(Snic.Vnic.id v))
+  in
+  let rng = Random.State.make [| 29 |] in
+  let nonce = "cross-nic-nonce" in
+  let _, quote_a = Snic.Attestation.respond rng (attester_of api_a v_a) ~nonce in
+  let _, quote_b = Snic.Attestation.respond rng (attester_of api_b v_b) ~nonce in
+  (* Each quote verifies under its own vendor root... *)
+  (match Snic.Attestation.verify rng ~vendor_public:(Snic.Identity.vendor_public vendor_a) ~nonce quote_a with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Snic.Attestation.verify_error_to_string e));
+  (* ...but NIC A's quote must not verify under vendor B's root. *)
+  (match Snic.Attestation.verify rng ~vendor_public:(Snic.Identity.vendor_public vendor_b) ~nonce quote_a with
+  | Error Snic.Attestation.Bad_certificate_chain -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Snic.Attestation.verify_error_to_string e)
+  | Ok _ -> Alcotest.fail "cross-vendor quote accepted");
+  (* Splicing NIC B's certificate chain onto NIC A's quote breaks the
+     chain or the signature, never succeeds. *)
+  let spliced =
+    {
+      quote_a with
+      Snic.Attestation.ak = quote_b.Snic.Attestation.ak;
+      ak_endorsement = quote_b.Snic.Attestation.ak_endorsement;
+      ek_cert = quote_b.Snic.Attestation.ek_cert;
+    }
+  in
+  match Snic.Attestation.verify rng ~vendor_public:(Snic.Identity.vendor_public vendor_b) ~nonce spliced with
+  | Error (Snic.Attestation.Bad_certificate_chain | Snic.Attestation.Bad_signature) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Snic.Attestation.verify_error_to_string e)
+  | Ok _ -> Alcotest.fail "spliced identity accepted"
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "mis-staged image fails attestation" `Slow test_mis_staged_image_fails_verification;
+      Alcotest.test_case "quote bound to NIC identity" `Slow test_quote_bound_to_nic_identity;
+    ]
