@@ -7,6 +7,29 @@
 
 let fast = Array.exists (String.equal "--fast") Sys.argv
 
+(* --json FILE: dump every scalar metric the sections register to FILE
+   as a flat JSON object, so trend tooling can track runs over time. *)
+let json_path =
+  let rec find i =
+    if i >= Array.length Sys.argv - 1 then None
+    else if String.equal Sys.argv.(i) "--json" then Some Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 1
+
+let metrics : (string * float) list ref = ref []
+let metric name value = metrics := (name, value) :: !metrics
+
+let write_metrics () =
+  match json_path with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Printf.fprintf oc "{\n%s\n}\n"
+      (String.concat ",\n" (List.map (fun (k, v) -> Printf.sprintf "  %S: %.6f" k v) (List.rev !metrics)));
+    close_out oc;
+    Printf.printf "wrote %d metrics to %s\n" (List.length !metrics) path
+
 let header title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
@@ -527,6 +550,35 @@ let ablation_translation () =
   print_endline "associate a page table pointer with a programmable core')"
 
 (* ------------------------------------------------------------------ *)
+(* Chaos: recovery latency and goodput under gray failures             *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_section () =
+  header "Gray-failure chaos: recovery latency and goodput under faults";
+  Printf.printf "%-8s %8s %8s %8s %8s %9s %6s %7s %11s\n" "seed" "faults" "p50 ms" "p90 ms" "p99 ms" "goodput"
+    "quar" "readmit" "unattested";
+  let seeds = if fast then [ 42; 1337 ] else [ 42; 1337; 20240 ] in
+  List.iter
+    (fun seed ->
+      let r = Fleet.Chaos.run { Fleet.Chaos.default_config with Fleet.Chaos.seed } in
+      Printf.printf "%-8d %8d %8.2f %8.2f %8.2f %9.4f %6d %7d %11d\n" seed r.Fleet.Chaos.total_faults
+        r.Fleet.Chaos.recovery_p50 r.Fleet.Chaos.recovery_p90 r.Fleet.Chaos.recovery_p99 r.Fleet.Chaos.goodput
+        r.Fleet.Chaos.quarantines r.Fleet.Chaos.readmissions r.Fleet.Chaos.unattested_running;
+      let m name v = metric (Printf.sprintf "chaos.seed%d.%s" seed name) v in
+      m "recovery_p50_ms" r.Fleet.Chaos.recovery_p50;
+      m "recovery_p90_ms" r.Fleet.Chaos.recovery_p90;
+      m "recovery_p99_ms" r.Fleet.Chaos.recovery_p99;
+      m "recovery_samples" (float_of_int (List.length r.Fleet.Chaos.recovery_ms));
+      m "goodput" r.Fleet.Chaos.goodput;
+      m "total_faults" (float_of_int r.Fleet.Chaos.total_faults);
+      m "quarantines" (float_of_int r.Fleet.Chaos.quarantines);
+      m "unattested_running" (float_of_int r.Fleet.Chaos.unattested_running);
+      m "scrub_failures" (float_of_int r.Fleet.Chaos.scrub_failures))
+    seeds;
+  print_endline "(recovery = fault -> re-attested, through verified scrub + re-place + attestation, at 1.2 GHz;";
+  print_endline " goodput = frames forwarded / injected while the storm drops, corrupts, and stalls the fleet)"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -675,5 +727,7 @@ let () =
   ablation_denylist ();
   ablation_translation ();
   fleet_section ();
+  chaos_section ();
   microbenches ();
+  write_metrics ();
   print_endline "\nAll experiments complete. See EXPERIMENTS.md for paper-vs-measured notes."

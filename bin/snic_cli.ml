@@ -8,7 +8,8 @@
      snic_cli ipc [--l2 BYTES --nfs N]— one IPC-degradation run
      snic_cli dpi --threads N --frame B — one Figure-8 point
      snic_cli timeline                — Figure 7 series as CSV
-     snic_cli fleet [--nics N ...]    — seeded multi-NIC fleet scenario *)
+     snic_cli fleet [--nics N ...]    — seeded multi-NIC fleet scenario
+     snic_cli chaos [--intensity X ...] — gray-failure storm + self-healing *)
 
 open Cmdliner
 
@@ -247,6 +248,66 @@ let fleet_cmd =
     (Cmd.info "fleet" ~doc:"Seeded multi-NIC fleet scenario: attested placement, traffic, failure recovery")
     Term.(const run $ seed_arg $ nics $ tenants $ policy $ rounds $ packets $ kill_nics $ kill_nfs $ csv $ json)
 
+let chaos_cmd =
+  let nics = Arg.(value & opt int 8 & info [ "nics" ] ~doc:"NICs in the rack") in
+  let tenants = Arg.(value & opt int 24 & info [ "tenants" ] ~doc:"Tenant NFs to place") in
+  let policy =
+    Arg.(value & opt string "first-fit"
+         & info [ "policy" ] ~docv:"POLICY" ~doc:"Placement policy: first-fit|best-fit|spread|tco-aware")
+  in
+  let rounds = Arg.(value & opt int 6 & info [ "rounds" ] ~doc:"Traffic rounds under the storm") in
+  let packets = Arg.(value & opt int 400 & info [ "packets" ] ~doc:"Packets replayed per round") in
+  let intensity =
+    Arg.(value & opt float 3.0 & info [ "intensity" ] ~doc:"Fault-rate multiplier on the storm NICs")
+  in
+  let stride =
+    Arg.(value & opt int 3 & info [ "stride" ] ~doc:"Every k-th NIC gets the full storm (0 = none)")
+  in
+  let flips = Arg.(value & opt int 2 & info [ "flips" ] ~doc:"DRAM bit flips injected per round") in
+  let kill_nics = Arg.(value & opt int 1 & info [ "kill-nics" ] ~doc:"Fail-stop NIC kills over the run") in
+  let kill_nfs = Arg.(value & opt int 2 & info [ "kill-nfs" ] ~doc:"Orderly NF kills over the run") in
+  let log = Arg.(value & flag & info [ "log" ] ~doc:"Print the replayable fault-injection log") in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the full telemetry tree as JSON") in
+  let run seed nics tenants policy rounds packets intensity stride flips kill_nics kill_nfs log json =
+    match Fleet.Policy.of_string policy with
+    | Error e ->
+      prerr_endline e;
+      exit 2
+    | Ok policy ->
+      let config =
+        {
+          Fleet.Chaos.default_config with
+          Fleet.Chaos.seed = Option.value seed ~default:Fleet.Chaos.default_config.Fleet.Chaos.seed;
+          n_nics = nics;
+          n_tenants = tenants;
+          policy;
+          rounds;
+          packets_per_round = packets;
+          intensity;
+          flaky_stride = stride;
+          dram_flips_per_round = flips;
+          kill_nics;
+          kill_nfs;
+        }
+      in
+      let report, orch = Fleet.Chaos.run_with config in
+      if json then print_string (Fleet.Telemetry.to_json (Fleet.Orchestrator.telemetry orch))
+      else begin
+        print_string (Fleet.Chaos.summary report);
+        if log then begin
+          print_newline ();
+          print_string report.Fleet.Chaos.injection_log
+        end
+      end;
+      if report.Fleet.Chaos.unattested_running > 0 || report.Fleet.Chaos.scrub_failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Gray-failure storm: fault injection across the fleet with self-healing recovery")
+    Term.(
+      const run $ seed_arg $ nics $ tenants $ policy $ rounds $ packets $ intensity $ stride $ flips $ kill_nics
+      $ kill_nfs $ log $ json)
+
 let () =
   let info = Cmd.info "snic_cli" ~doc:"S-NIC (EuroSys'24) reproduction experiments" in
   exit
@@ -254,5 +315,5 @@ let () =
        (Cmd.group info
           [
             attacks_cmd; dos_cmd; covert_cmd; probe_cmd; tco_cmd; overhead_cmd; tlb_cmd; pack_cmd; table6_cmd;
-            ipc_cmd; dpi_cmd; fig5_cmd; fig8_cmd; timeline_cmd; fleet_cmd;
+            ipc_cmd; dpi_cmd; fig5_cmd; fig8_cmd; timeline_cmd; fleet_cmd; chaos_cmd;
           ]))

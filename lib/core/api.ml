@@ -15,18 +15,31 @@ let instructions t = t.instr
 let machine t = Instructions.machine t.instr
 let vendor t = t.vendor
 
-let nf_create t (config : Instructions.launch_config) =
+type create_error =
+  | Stage_fault of Faults.fault_event (* the staging DMA hit an injected gray failure — retryable *)
+  | Stage_failed of string (* resource exhaustion or window violation while staging *)
+  | Launch_failed of string (* the trusted nf_launch instruction refused *)
+
+let create_error_to_string = function
+  | Stage_fault ev -> Printf.sprintf "image staging failed: %s" (Faults.event_to_string ev)
+  | Stage_failed msg -> msg
+  | Launch_failed msg -> msg
+
+let nf_create_r t (config : Instructions.launch_config) =
   let m = machine t in
   (* Stage the image through host memory and DMA, as the real management
      flow does (§4.1). The staging buffer is OS memory; nf_launch copies
-     from it into the function's reservation. *)
+     from it into the function's reservation. A gray failure here is
+     survivable: an outright DMA error aborts the create (retryable), and
+     a silent bit flip stages a corrupt image whose measurement the
+     attestation handshake then rejects — it never runs attested. *)
   let staged =
     if String.length config.image = 0 then Ok config.image
     else begin
       let host = Dma.host_mem (Machine.dma m) in
       Physmem.write_bytes host ~pos:0 config.image;
       match Alloc.alloc (Machine.alloc m) ~owner:Physmem.Nic_os (String.length config.image) with
-      | None -> Error "cannot stage image: on-NIC RAM exhausted"
+      | None -> Error (Stage_failed "cannot stage image: on-NIC RAM exhausted")
       | Some stage -> begin
         match
           Dma.transfer ~checked:false (Machine.dma m) ~bank:0 ~direction:Dma.To_nic ~nic_addr:stage ~host_addr:0
@@ -34,7 +47,9 @@ let nf_create t (config : Instructions.launch_config) =
         with
         | Error e ->
           Alloc.free (Machine.alloc m) stage;
-          Error e
+          (match e with
+          | Dma.Fault ev -> Error (Stage_fault ev)
+          | Dma.Violation msg -> Error (Stage_failed msg))
         | Ok () ->
           let image = Physmem.read_bytes (Machine.mem m) ~pos:stage ~len:(String.length config.image) in
           Alloc.free (Machine.alloc m) stage;
@@ -55,8 +70,10 @@ let nf_create t (config : Instructions.launch_config) =
     in
     match Instructions.nf_launch t.instr { config with cores; image } with
     | Ok (handle, _latency) -> Ok (Vnic.of_handle t.instr handle)
-    | Error e -> Error (Instructions.error_to_string e)
+    | Error e -> Error (Launch_failed (Instructions.error_to_string e))
   end
+
+let nf_create t config = Result.map_error create_error_to_string (nf_create_r t config)
 
 type destroy_error = Already_destroyed of int | Never_created of int | Destroy_failed of string
 

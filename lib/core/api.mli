@@ -24,11 +24,27 @@ val instructions : t -> Instructions.t
 val machine : t -> Nicsim.Machine.t
 val vendor : t -> Identity.vendor
 
+(** Why [nf_create] can fail, split so a supervisor can react: a
+    [Stage_fault] is a transient gray failure of the staging DMA and is
+    worth retrying; [Stage_failed] is resource exhaustion; [Launch_failed]
+    is the trusted instruction refusing the configuration. A silent bit
+    flip during staging is *not* an error here — it produces a corrupt
+    image whose measurement attestation later rejects. *)
+type create_error =
+  | Stage_fault of Faults.fault_event
+  | Stage_failed of string
+  | Launch_failed of string
+
+val create_error_to_string : create_error -> string
+
 (** [nf_create t config] — Table 1's
     [NF_create(net_config, core_config, ...)]. Stages the image through
     host RAM + DMA, picks free cores if [config.cores] is empty, and
     launches. Returns the running function's virtual NIC. *)
 val nf_create : t -> Instructions.launch_config -> (Vnic.t, string) result
+
+(** As [nf_create], with the typed error. *)
+val nf_create_r : t -> Instructions.launch_config -> (Vnic.t, create_error) result
 
 (** Why [nf_destroy] can fail, split so management layers can react
     differently: a double-destroy ([Already_destroyed]) is usually a

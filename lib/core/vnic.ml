@@ -58,7 +58,16 @@ let owned_cluster t kind =
   | Some (_, cluster) -> Ok cluster
 
 let submit_owned t kind ~now ~bytes =
-  Result.map (fun cluster -> Accel.submit (Machine.accel (m t) kind) ~cluster ~now ~bytes) (owned_cluster t kind)
+  match owned_cluster t kind with
+  | Error e -> Error e
+  | Ok cluster ->
+    let a = Machine.accel (m t) kind in
+    let done_at = Accel.submit a ~cluster ~now ~bytes in
+    (* An injected garbage completion is detectable (bad CRC/stripe), so
+       it surfaces as an error rather than a silent wrong answer; a hang
+       surfaces as a completion time past the watchdog horizon. *)
+    if Accel.take_garbage a then Error (Printf.sprintf "%s cluster returned garbage output" (Accel.kind_name kind))
+    else Ok done_at
 
 let dpi_submit t ~now ~bytes = submit_owned t Accel.Dpi ~now ~bytes
 
@@ -90,6 +99,7 @@ let dma t ~direction ~nic_off ~host_off ~len =
   let bank = first_core t in
   Dma.transfer ~checked:true (Machine.dma (m t)) ~bank ~direction
     ~nic_addr:(t.handle.Instructions.vbase + nic_off) ~host_addr:host_off ~len
+  |> Result.map_error Dma.error_to_string
 
 let dma_to_host t ~nic_off ~host_off ~len = dma t ~direction:Dma.To_host ~nic_off ~host_off ~len
 let dma_from_host t ~nic_off ~host_off ~len = dma t ~direction:Dma.To_nic ~nic_off ~host_off ~len

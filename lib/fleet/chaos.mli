@@ -1,0 +1,79 @@
+(** Fault-storm scenarios: the fleet under gray failures.
+
+    Boots a rack clean (every tenant placed and attested with no faults
+    armed), then arms a per-NIC {!Faults} plan — every
+    [flaky_stride]-th NIC at full storm intensity, the others at a
+    background drizzle — and runs traffic rounds interleaved with DRAM
+    rot, fail-stop injections ({!Failure}) and {!Supervisor} ticks.
+
+    The report captures what the acceptance criteria grep for: the
+    [unattested_running] and [scrub_failures] invariants, recovery-latency
+    percentiles (fault to re-attested), goodput under faults, and the
+    concatenated per-NIC injection log. Everything is a deterministic
+    function of [seed]: same seed, byte-identical log and summary. *)
+
+type config = {
+  seed : int;
+  n_nics : int;
+  n_tenants : int;
+  policy : Policy.t;
+  rounds : int;
+  packets_per_round : int;
+  intensity : float; (* scales every fault rate; 1.0 = default storm *)
+  flaky_stride : int; (* every k-th NIC gets the full storm; 0 = none *)
+  dram_flips_per_round : int;
+  kill_nics : int; (* fail-stop budget across the run *)
+  kill_nfs : int;
+  bytes_per_mb : int;
+  supervisor : Supervisor.config;
+}
+
+(** seed 42, 8 NICs / 24 tenants, 4 rounds × 400 packets, full storm on
+    every 3rd NIC, 2 DRAM flips per round, 1 NIC + 2 NF fail-stop kills. *)
+val default_config : config
+
+type round_report = {
+  index : int;
+  traffic : Frontend.stats;
+  failures : Failure.report option;
+  unattested_running : int; (* at the round's quiesce point — must be 0 *)
+  faults_so_far : int; (* cumulative injected faults across the fleet *)
+}
+
+type report = {
+  config : config;
+  rounds : round_report list;
+  settle_ticks : int; (* extra supervisor ticks to re-home stragglers *)
+  initial_attested : int;
+  final_attested : int;
+  final_unplaced : int;
+  unattested_running : int;
+  max_unattested_observed : int; (* max across every quiesce point *)
+  scrub_failures : int;
+  replacements : int;
+  retries : int;
+  quarantines : int;
+  readmissions : int;
+  watchdog_failovers : int;
+  alarms : int;
+  fault_counts : (string * int) list; (* site name -> fleet-wide firings *)
+  total_faults : int;
+  injection_log : string; (* per-NIC logs, replayable byte-for-byte *)
+  recovery_ms : float list; (* fault -> re-attested, oldest first *)
+  recovery_p50 : float;
+  recovery_p90 : float;
+  recovery_p99 : float;
+  goodput : float; (* forwarded / injected across all rounds *)
+  alive_nics : int;
+  quarantined_nics : int;
+}
+
+val run : config -> report
+
+(** [run_with config] also hands back the orchestrator for inspection. *)
+val run_with : config -> report * Orchestrator.t
+
+(** Human-readable rollup. The invariants line is stable and greppable:
+    ["invariants: unattested_running=0 scrub_failures=0 ..."] on a
+    passing run. *)
+val summary : report -> string

@@ -1,4 +1,6 @@
 type report = {
+  nics_requested : int;
+  nfs_requested : int;
   nics_killed : int list;
   nfs_killed : int list;
   displaced : int;
@@ -7,10 +9,13 @@ type report = {
   scrub_failures : int;
 }
 
+(* Budgets beyond the population clamp to "kill them all" (and negative
+   budgets to nothing) — the report's requested-vs-killed fields record
+   the clamping instead of the injector looping or raising. *)
 let pick_distinct rng pool n =
   let pool = Array.copy pool in
   Trace.Rng.shuffle rng pool;
-  Array.to_list (Array.sub pool 0 (min n (Array.length pool)))
+  Array.to_list (Array.sub pool 0 (min (max n 0) (Array.length pool)))
 
 let inject orch rng ~kill_nics ~kill_nfs =
   let telemetry = Orchestrator.telemetry orch in
@@ -67,8 +72,10 @@ let inject orch rng ~kill_nics ~kill_nfs =
   let nfs_killed = List.map (fun (tn : Orchestrator.tenant) -> tn.Orchestrator.tid) nf_victims in
   (* Recovery: re-place + re-attest, lowest tenant id first. *)
   let displaced = List.sort (fun a b -> compare a.Orchestrator.tid b.Orchestrator.tid) !displaced in
-  let replaced = List.length (List.filter (fun tn -> Orchestrator.replace orch tn) displaced) in
+  let replaced = List.length (List.filter (fun tn -> Result.is_ok (Orchestrator.replace orch tn)) displaced) in
   {
+    nics_requested = kill_nics;
+    nfs_requested = kill_nfs;
     nics_killed;
     nfs_killed;
     displaced = List.length displaced;

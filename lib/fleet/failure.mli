@@ -12,6 +12,8 @@
       the orphaned tenants on the remaining NICs. *)
 
 type report = {
+  nics_requested : int; (* the kill_nics budget as asked for *)
+  nfs_requested : int; (* the kill_nfs budget as asked for *)
   nics_killed : int list; (* NIC ids taken down *)
   nfs_killed : int list; (* tenant ids whose NF was destroyed *)
   displaced : int; (* tenants that lost their placement *)
@@ -23,5 +25,7 @@ type report = {
 (** [inject orch rng ~kill_nics ~kill_nfs] — pick victims with [rng]
     (alive NICs; placed tenants not on a NIC killed this round), kill
     them, recover. Victim choice consumes randomness only from [rng], so
-    seeded runs replay identically. *)
+    seeded runs replay identically. Budgets exceeding the alive
+    population clamp to it (and negative budgets to 0); compare the
+    [*_requested] fields with the victim lists to see the clamping. *)
 val inject : Orchestrator.t -> Trace.Rng.t -> kill_nics:int -> kill_nfs:int -> report

@@ -54,6 +54,7 @@ type t = {
   shape : shape;
   api : Snic.Api.t;
   mutable alive : bool;
+  mutable quarantined : bool;
   mutable committed_bytes : int;
   mutable nf_count : int;
 }
@@ -81,7 +82,7 @@ let boot ?identity_seed ~vendor ~id shape =
      interchangeable across the rack. *)
   let identity_seed = match identity_seed with Some s -> s | None -> 0x51C + (7919 * (id + 1)) in
   let api = Snic.Api.boot_with ~vendor ~serial ~identity_seed (machine_config shape) in
-  { id; serial; shape; api; alive = true; committed_bytes = 0; nf_count = 0 }
+  { id; serial; shape; api; alive = true; quarantined = false; committed_bytes = 0; nf_count = 0 }
 
 let id t = t.id
 let api t = t.api
@@ -89,6 +90,9 @@ let shape t = t.shape
 let serial t = t.serial
 let alive t = t.alive
 let kill t = t.alive <- false
+let quarantined t = t.quarantined
+let quarantine t = t.quarantined <- true
+let unquarantine t = t.quarantined <- false
 let free_cores t = List.length (Machine.free_cores (Snic.Api.machine t.api))
 
 (* Leave room for the OS staging buffer and buffer pools: the operator
@@ -100,7 +104,8 @@ let nf_count t = t.nf_count
 let entries_for t (d : Workload.demand) = Workload.tlb_entries d ~page_sizes:t.shape.page_menu
 
 let admits t (d : Workload.demand) =
-  t.alive && free_cores t >= d.Workload.cores
+  t.alive && (not t.quarantined)
+  && free_cores t >= d.Workload.cores
   && mem_headroom t >= d.Workload.mem_bytes
   && List.for_all (fun (kind, n) -> free_clusters t kind >= n) d.Workload.accels
   && entries_for t d <= t.shape.tlb_budget_per_core

@@ -50,6 +50,16 @@ val alive : t -> bool
     scrubbing a teardown-time duty of live hardware). *)
 val kill : t -> unit
 
+(** {2 Quarantine (circuit breaker)}
+
+    A quarantined NIC is alive — its hardware still answers, teardowns
+    still scrub — but {!admits} refuses new placements until the
+    supervisor's probation window expires and readmits it. *)
+
+val quarantined : t -> bool
+val quarantine : t -> unit
+val unquarantine : t -> unit
+
 (** {2 Operator-side accounting (admission pre-filter; the trusted
     instructions remain the authority)} *)
 

@@ -69,41 +69,56 @@ let attest t node (vnic : Snic.Vnic.t) ~expected =
       Ok ()
     | Error e -> Error e)
 
+type place_error =
+  | No_capacity (* no alive, unquarantined NIC admits the demand — alarm *)
+  | Create_failed of Snic.Api.create_error (* nf_create refused; Stage_fault is retryable *)
+  | Attest_failed of string (* launched but rejected the quote; torn back down *)
+
+let place_error_to_string = function
+  | No_capacity -> "no NIC admits the demand"
+  | Create_failed e -> Printf.sprintf "nf_create failed: %s" (Snic.Api.create_error_to_string e)
+  | Attest_failed e -> Printf.sprintf "attestation failed: %s" e
+
 let place t tenant =
-  match Policy.choose t.config.policy t.nodes tenant.demand with
-  | None ->
-    Telemetry.placement_failure t.telemetry;
-    false
-  | Some node -> (
-    let cfg = launch_config tenant in
-    match Snic.Api.nf_create (Node.api node) cfg with
-    | Error _ ->
+  if tenant.placement <> None then Ok () (* already placed: placing again is a no-op *)
+  else
+    match Policy.choose t.config.policy t.nodes tenant.demand with
+    | None ->
       Telemetry.placement_failure t.telemetry;
-      false
-    | Ok vnic -> (
-      Node.commit node tenant.demand;
-      let expected = expected_measurement cfg (Snic.Vnic.handle vnic) in
-      match attest t node vnic ~expected with
-      | Ok () ->
-        tenant.placement <- Some { node; vnic; nf = Workload.nf_instance tenant.demand.Workload.kind };
-        tenant.attested <- true;
-        (Telemetry.tenant t.telemetry tenant.tid).Telemetry.placements <-
-          (Telemetry.tenant t.telemetry tenant.tid).Telemetry.placements + 1;
-        (Telemetry.nic t.telemetry (Node.id node)).Telemetry.hosted <-
-          (Telemetry.nic t.telemetry (Node.id node)).Telemetry.hosted + 1;
-        true
-      | Error _ ->
-        (* An unattestable function must not run: tear it straight back
-           down and report the failure. *)
-        (Telemetry.tenant t.telemetry tenant.tid).Telemetry.attest_failures <-
-          (Telemetry.tenant t.telemetry tenant.tid).Telemetry.attest_failures + 1;
-        (match Snic.Api.nf_destroy (Node.api node) ~id:(Snic.Vnic.id vnic) with _ -> ());
-        Node.release node tenant.demand;
-        false))
+      Error No_capacity
+    | Some node -> (
+      let cfg = launch_config tenant in
+      match Snic.Api.nf_create_r (Node.api node) cfg with
+      | Error e ->
+        Telemetry.placement_failure t.telemetry;
+        Error (Create_failed e)
+      | Ok vnic -> (
+        Node.commit node tenant.demand;
+        let expected = expected_measurement cfg (Snic.Vnic.handle vnic) in
+        match attest t node vnic ~expected with
+        | Ok () ->
+          tenant.placement <- Some { node; vnic; nf = Workload.nf_instance tenant.demand.Workload.kind };
+          tenant.attested <- true;
+          (Telemetry.tenant t.telemetry tenant.tid).Telemetry.placements <-
+            (Telemetry.tenant t.telemetry tenant.tid).Telemetry.placements + 1;
+          (Telemetry.nic t.telemetry (Node.id node)).Telemetry.hosted <-
+            (Telemetry.nic t.telemetry (Node.id node)).Telemetry.hosted + 1;
+          Ok ()
+        | Error e ->
+          (* An unattestable function must not run: tear it straight back
+             down and report the failure. *)
+          (Telemetry.tenant t.telemetry tenant.tid).Telemetry.attest_failures <-
+            (Telemetry.tenant t.telemetry tenant.tid).Telemetry.attest_failures + 1;
+          (match Snic.Api.nf_destroy (Node.api node) ~id:(Snic.Vnic.id vnic) with _ -> ());
+          Node.release node tenant.demand;
+          Error (Attest_failed e)))
 
 let replace t tenant =
-  Telemetry.replacement t.telemetry;
-  place t tenant
+  if tenant.placement <> None then Ok () (* already placed: nothing to replace *)
+  else begin
+    Telemetry.replacement t.telemetry;
+    place t tenant
+  end
 
 let evict t tenant =
   (match tenant.placement with

@@ -39,13 +39,26 @@ val tenants : t -> tenant array
 val telemetry : t -> Telemetry.t
 val vendor : t -> Snic.Identity.vendor
 
-(** [place t tenant] — run the policy, [nf_create], then attest. [false]
-    when no NIC admits the demand or (never in a healthy fleet) the
-    attestation fails; telemetry records which. *)
-val place : t -> tenant -> bool
+(** Why a placement attempt failed, split so a supervisor can react:
+    [No_capacity] is an alarm (retrying cannot help until something is
+    evicted or readmitted), [Create_failed (Stage_fault _)] and
+    [Attest_failed] are transient under gray failures and worth
+    retrying. *)
+type place_error =
+  | No_capacity
+  | Create_failed of Snic.Api.create_error
+  | Attest_failed of string
 
-(** [place] + a replacement tick in telemetry (failure-recovery path). *)
-val replace : t -> tenant -> bool
+val place_error_to_string : place_error -> string
+
+(** [place t tenant] — run the policy, [nf_create], then attest.
+    Telemetry records failures by kind. Placing an already-placed tenant
+    is a no-op ([Ok ()], no counters move). *)
+val place : t -> tenant -> (unit, place_error) result
+
+(** [place] + a replacement tick in telemetry (failure-recovery path).
+    A no-op (no tick) when the tenant is already placed. *)
+val replace : t -> tenant -> (unit, place_error) result
 
 (** [evict t tenant] — the tenant lost its NF (its NIC died or the NF
     was killed); clears the placement and operator-side accounting.

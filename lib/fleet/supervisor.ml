@@ -1,0 +1,247 @@
+open Nicsim
+
+type config = {
+  max_attempts : int;
+  backoff_base : int;
+  backoff_cap : int;
+  health_floor : int;
+  fault_penalty : int;
+  recovery_bonus : int;
+  probation_rounds : int;
+  watchdog_budget : int;
+  scrub_cost : int;
+  attest_cost : int;
+}
+
+let default_config =
+  {
+    max_attempts = 6;
+    backoff_base = 50_000;
+    backoff_cap = 5_000_000;
+    health_floor = 40;
+    fault_penalty = 7;
+    recovery_bonus = 15;
+    probation_rounds = 2;
+    (* Far above any honest service time (a jumbo DPI request is ~100k
+       cycles), far below Accel.hang_horizon. *)
+    watchdog_budget = 50_000_000;
+    scrub_cost = 120_000;
+    attest_cost = 600_000;
+  }
+
+type breaker = Closed | Open of { until_round : int } | Probation of { until_round : int }
+
+type nic_state = { mutable score : int; mutable breaker : breaker; mutable trips : int; mutable last_faults : int }
+
+type t = {
+  config : config;
+  orch : Orchestrator.t;
+  rng : Trace.Rng.t;
+  nics : nic_state array;
+  mutable clock : int; (* logical cycle clock, shared by probes and backoff *)
+  evicted_at : (int, int) Hashtbl.t; (* tenant id -> clock when displaced *)
+  mutable recovery_cycles : int list; (* newest first *)
+  mutable alarms : int; (* No_capacity placements — retrying cannot help *)
+  mutable scrub_failures : int;
+}
+
+let create ~seed orch config =
+  {
+    config;
+    orch;
+    rng = Trace.Rng.create ~seed:(seed lxor 0x5AFE);
+    nics =
+      Array.map
+        (fun _ -> { score = 100; breaker = Closed; trips = 0; last_faults = 0 })
+        (Orchestrator.nodes orch);
+    clock = 0;
+    evicted_at = Hashtbl.create 64;
+    recovery_cycles = [];
+    alarms = 0;
+    scrub_failures = 0;
+  }
+
+let clock t = t.clock
+let alarms t = t.alarms
+let scrub_failures t = t.scrub_failures
+let health t ~nic = t.nics.(nic).score
+let breaker t ~nic = t.nics.(nic).breaker
+
+let cycles_per_ms = 1_200_000. (* 1.2 GHz cores *)
+let recovery_samples_ms t = List.rev_map (fun c -> float_of_int c /. cycles_per_ms) t.recovery_cycles
+
+(* Note the displacement time so the re-attestation that eventually
+   lands can be turned into a recovery-latency sample. *)
+let note_evict t (tenant : Orchestrator.tenant) =
+  if not (Hashtbl.mem t.evicted_at tenant.Orchestrator.tid) then
+    Hashtbl.replace t.evicted_at tenant.Orchestrator.tid t.clock;
+  Orchestrator.evict t.orch tenant
+
+let note_recovered t (tenant : Orchestrator.tenant) =
+  match Hashtbl.find_opt t.evicted_at tenant.Orchestrator.tid with
+  | None -> ()
+  | Some at ->
+    t.recovery_cycles <- (t.clock - at) :: t.recovery_cycles;
+    Hashtbl.remove t.evicted_at tenant.Orchestrator.tid
+
+(* Bounded retry with exponential backoff + seeded jitter. Stage faults
+   and attestation rejections are transient under gray failures — retry;
+   No_capacity cannot improve by retrying — alarm and give up this tick. *)
+let place_with_retry t tenant =
+  let rec go attempt =
+    match Orchestrator.replace t.orch tenant with
+    | Ok () ->
+      t.clock <- t.clock + t.config.attest_cost;
+      note_recovered t tenant;
+      Ok ()
+    | Error Orchestrator.No_capacity ->
+      t.alarms <- t.alarms + 1;
+      Error Orchestrator.No_capacity
+    | Error (Orchestrator.Create_failed (Snic.Api.Stage_fault _) | Orchestrator.Attest_failed _) as e ->
+      if attempt >= t.config.max_attempts then (match e with Error err -> Error err | Ok () -> assert false)
+      else begin
+        Telemetry.retry (Orchestrator.telemetry t.orch);
+        let backoff = min t.config.backoff_cap (t.config.backoff_base * (1 lsl (attempt - 1))) in
+        let jitter = Trace.Rng.int t.rng (max 1 (backoff / 4)) in
+        t.clock <- t.clock + backoff + jitter;
+        go (attempt + 1)
+      end
+    | Error e -> Error e (* resource exhaustion / launch refusal: not transient *)
+  in
+  go 1
+
+let destroy_verified t node (tenant : Orchestrator.tenant) =
+  match tenant.Orchestrator.placement with
+  | None -> ()
+  | Some p ->
+    let handle = Snic.Vnic.handle p.Orchestrator.vnic in
+    (match Snic.Api.nf_destroy (Node.api node) ~id:handle.Snic.Instructions.id with
+    | Ok () ->
+      let mem = Machine.mem (Snic.Api.machine (Node.api node)) in
+      if Physmem.is_zero mem ~pos:handle.Snic.Instructions.mem_base ~len:handle.Snic.Instructions.mem_len then begin
+        let ns = Telemetry.nic (Orchestrator.telemetry t.orch) (Node.id node) in
+        ns.Telemetry.scrubs_verified <- ns.Telemetry.scrubs_verified + 1
+      end
+      else t.scrub_failures <- t.scrub_failures + 1
+    | Error _ -> t.scrub_failures <- t.scrub_failures + 1);
+    t.clock <- t.clock + t.config.scrub_cost;
+    note_evict t tenant
+
+(* Circuit breaker trip: quarantine the NIC and drain it in an orderly
+   fashion — every hosted NF is destroyed (scrub verified) and its tenant
+   evicted, so nothing keeps running on a NIC the control plane no longer
+   trusts; the stranded-tenant pass re-places them elsewhere. *)
+let trip t ~round nic_i node =
+  let st = t.nics.(nic_i) in
+  let window = t.config.probation_rounds * (1 lsl min st.trips 4) in
+  st.trips <- st.trips + 1;
+  st.breaker <- Open { until_round = round + window };
+  Node.quarantine node;
+  Telemetry.quarantine (Orchestrator.telemetry t.orch);
+  Array.iter
+    (fun (tn : Orchestrator.tenant) ->
+      match tn.Orchestrator.placement with
+      | Some p when Node.id p.Orchestrator.node = Node.id node -> destroy_verified t node tn
+      | _ -> ())
+    (Orchestrator.tenants t.orch)
+
+(* Active health probes against live hardware: a bus heartbeat that must
+   complete without a timeout, and a DMA loopback whose pattern must read
+   back intact (catching both outright errors and silent corruption).
+   Returns the score penalty. *)
+let probe t node =
+  let tel = Orchestrator.telemetry t.orch in
+  let machine = Snic.Api.machine (Node.api node) in
+  let penalty = ref 0 in
+  Telemetry.health_probe tel;
+  let bus_done = Bus.request (Machine.bus machine) ~client:0 ~now:t.clock ~cost:8 in
+  if bus_done - t.clock >= Bus.timeout_penalty then begin
+    Telemetry.probe_failure tel;
+    penalty := !penalty + 20
+  end;
+  let dma = Machine.dma machine in
+  let pattern = Printf.sprintf "health-probe-%08x" (t.clock land 0xFFFFFFFF) in
+  let len = String.length pattern in
+  (match Alloc.alloc (Machine.alloc machine) ~owner:Physmem.Nic_os len with
+  | None -> () (* no scratch space: not a health signal *)
+  | Some scratch ->
+    let host = Dma.host_mem dma in
+    Physmem.write_bytes host ~pos:4096 pattern;
+    (match Dma.transfer ~checked:false dma ~bank:0 ~direction:Dma.To_nic ~nic_addr:scratch ~host_addr:4096 ~len with
+    | Error _ ->
+      Telemetry.probe_failure tel;
+      penalty := !penalty + 20
+    | Ok () ->
+      if Physmem.read_bytes (Machine.mem machine) ~pos:scratch ~len <> pattern then begin
+        Telemetry.probe_failure tel;
+        penalty := !penalty + 20
+      end);
+    Alloc.free (Machine.alloc machine) scratch);
+  !penalty
+
+(* Watchdog: submit a tiny canary on each accelerator cluster a placed
+   tenant owns; a completion past the budget means the engine is wedged
+   (an injected hang lands ~1e9 cycles out), so the NF fails over —
+   teardown releases the cluster and resets its threads. *)
+let watchdog t =
+  let tel = Orchestrator.telemetry t.orch in
+  Array.iter
+    (fun (tn : Orchestrator.tenant) ->
+      match tn.Orchestrator.placement with
+      | None -> ()
+      | Some p -> (
+        let node = p.Orchestrator.node in
+        if Node.alive node then
+          let handle = Snic.Vnic.handle p.Orchestrator.vnic in
+          match handle.Snic.Instructions.clusters with
+          | [] -> ()
+          | (kind, cluster) :: _ ->
+            let a = Machine.accel (Snic.Api.machine (Node.api node)) kind in
+            let done_at = Accel.submit a ~cluster ~now:t.clock ~bytes:64 in
+            ignore (Accel.take_garbage a);
+            if done_at - t.clock > t.config.watchdog_budget then begin
+              Telemetry.watchdog_failover tel;
+              destroy_verified t node tn;
+              ignore (place_with_retry t tn)
+            end))
+    (Orchestrator.tenants t.orch)
+
+let round_quantum = 1_000_000
+
+let tick t ~round =
+  t.clock <- t.clock + round_quantum;
+  let tel = Orchestrator.telemetry t.orch in
+  Array.iteri
+    (fun i node ->
+      let st = t.nics.(i) in
+      if Node.alive node then begin
+        (* Passive signal: device faults logged since the last tick. *)
+        let total =
+          match Machine.faults (Snic.Api.machine (Node.api node)) with Some plan -> Faults.total plan | None -> 0
+        in
+        let fresh = total - st.last_faults in
+        st.last_faults <- total;
+        let penalty = (fresh * t.config.fault_penalty) + probe t node in
+        st.score <- max 0 (min 100 (st.score + t.config.recovery_bonus - penalty));
+        match st.breaker with
+        | Closed -> if st.score < t.config.health_floor then trip t ~round i node
+        | Open { until_round } ->
+          if round >= until_round then begin
+            Node.unquarantine node;
+            st.breaker <- Probation { until_round = round + t.config.probation_rounds };
+            (* Readmit with a clean slate — probation re-trips on the
+               first sign of relapse anyway. *)
+            st.score <- max st.score t.config.health_floor;
+            Telemetry.readmission tel
+          end
+        | Probation { until_round } ->
+          if st.score < t.config.health_floor then trip t ~round i node
+          else if round >= until_round then st.breaker <- Closed
+      end)
+    (Orchestrator.nodes t.orch);
+  watchdog t;
+  (* Re-place every stranded tenant (bounded retry each). *)
+  Array.iter
+    (fun (tn : Orchestrator.tenant) ->
+      if tn.Orchestrator.placement = None then ignore (place_with_retry t tn))
+    (Orchestrator.tenants t.orch)

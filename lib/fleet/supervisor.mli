@@ -1,0 +1,72 @@
+(** The self-healing layer: health checks, bounded retry with backoff,
+    circuit-breaker quarantine, and an accelerator watchdog.
+
+    PR 1's fleet recovered from *fail-stop* losses (a NIC dies, an NF is
+    destroyed). This module handles the *gray* failures {!Faults} injects:
+    devices that are still up but stalling, corrupting, or hanging. The
+    supervisor reacts only through the public control-plane API — place,
+    evict, [nf_destroy] — so every recovery path exercises the same
+    attestation and scrub machinery as a first placement, and the paper's
+    invariants (no unattested function runs; teardown scrubs) are
+    re-verified rather than assumed after every repair.
+
+    All randomness (backoff jitter) comes from one seeded stream, and
+    time is a logical cycle clock, so a seeded run replays its recovery
+    schedule byte for byte. *)
+
+type config = {
+  max_attempts : int; (* bounded retry per placement *)
+  backoff_base : int; (* cycles before the first retry *)
+  backoff_cap : int; (* ceiling on a single backoff step *)
+  health_floor : int; (* breaker trips when a NIC's score sinks below *)
+  fault_penalty : int; (* score lost per device fault since last tick *)
+  recovery_bonus : int; (* score regained per quiet tick *)
+  probation_rounds : int; (* rounds a tripped NIC sits out (doubles per re-trip) *)
+  watchdog_budget : int; (* cycles an accelerator canary may take *)
+  scrub_cost : int; (* cycles charged per verified teardown scrub *)
+  attest_cost : int; (* cycles charged per successful stage + attest *)
+}
+
+val default_config : config
+
+(** Per-NIC circuit breaker: [Closed] (healthy) → [Open] (quarantined
+    until the round shown, window doubling on each re-trip) →
+    [Probation] (readmitted, re-trips at the first relapse) → [Closed]. *)
+type breaker = Closed | Open of { until_round : int } | Probation of { until_round : int }
+
+type t
+
+val create : seed:int -> Orchestrator.t -> config -> t
+
+(** The logical cycle clock (advanced by ticks and backoff waits). *)
+val clock : t -> int
+
+(** [No_capacity] placement outcomes — failures retrying cannot fix. *)
+val alarms : t -> int
+
+(** Teardowns whose RAM was not zero afterwards — must stay 0. *)
+val scrub_failures : t -> int
+
+val health : t -> nic:int -> int
+val breaker : t -> nic:int -> breaker
+
+(** [place_with_retry t tenant] — {!Orchestrator.replace} under bounded
+    retry: transient failures (stage faults, attestation rejections)
+    back off exponentially with seeded jitter and try again, up to
+    [max_attempts]; [No_capacity] alarms and returns immediately. *)
+val place_with_retry : t -> Orchestrator.tenant -> (unit, Orchestrator.place_error) result
+
+(** [note_evict t tenant] — evict, timestamping the displacement so the
+    eventual re-attestation yields a recovery-latency sample. *)
+val note_evict : t -> Orchestrator.tenant -> unit
+
+(** One supervision pass: score every alive NIC from fault telemetry and
+    active probes (bus heartbeat, DMA pattern loopback), run breaker
+    transitions (trip → orderly drain with verified scrubs → probation →
+    readmission), sweep accelerator watchdog canaries, then re-place all
+    stranded tenants. *)
+val tick : t -> round:int -> unit
+
+(** Fault→re-attested latency samples, in milliseconds at 1.2 GHz,
+    oldest first. *)
+val recovery_samples_ms : t -> float list

@@ -23,6 +23,12 @@ type t = {
   mutable nic_kills : int;
   mutable nf_kills : int;
   mutable attest_ms : float;
+  mutable retries : int;
+  mutable quarantines : int;
+  mutable readmissions : int;
+  mutable watchdog_failovers : int;
+  mutable health_probes : int;
+  mutable probe_failures : int;
 }
 
 let create () =
@@ -34,6 +40,12 @@ let create () =
     nic_kills = 0;
     nf_kills = 0;
     attest_ms = 0.;
+    retries = 0;
+    quarantines = 0;
+    readmissions = 0;
+    watchdog_failovers = 0;
+    health_probes = 0;
+    probe_failures = 0;
   }
 
 let tenant t id =
@@ -57,11 +69,23 @@ let replacement t = t.replacements <- t.replacements + 1
 let nic_kill t = t.nic_kills <- t.nic_kills + 1
 let nf_kill t = t.nf_kills <- t.nf_kills + 1
 let add_attest_ms t ms = t.attest_ms <- t.attest_ms +. ms
+let retry t = t.retries <- t.retries + 1
+let quarantine t = t.quarantines <- t.quarantines + 1
+let readmission t = t.readmissions <- t.readmissions + 1
+let watchdog_failover t = t.watchdog_failovers <- t.watchdog_failovers + 1
+let health_probe t = t.health_probes <- t.health_probes + 1
+let probe_failure t = t.probe_failures <- t.probe_failures + 1
 let placement_failures t = t.placement_failures
 let replacements t = t.replacements
 let nic_kills t = t.nic_kills
 let nf_kills t = t.nf_kills
 let attest_ms_total t = t.attest_ms
+let retries t = t.retries
+let quarantines t = t.quarantines
+let readmissions t = t.readmissions
+let watchdog_failovers t = t.watchdog_failovers
+let health_probes t = t.health_probes
+let probe_failures t = t.probe_failures
 
 let sum_tenants t f = Hashtbl.fold (fun _ s acc -> acc + f s) t.tenants 0
 let total_attests t = sum_tenants t (fun s -> s.placements)
@@ -96,8 +120,10 @@ let to_json t =
   Buffer.add_string buf
     (Printf.sprintf
        "  \"fleet\": {\"placement_failures\": %d, \"replacements\": %d, \"nic_kills\": %d, \"nf_kills\": %d, \
-        \"attest_ms\": %.3f},\n"
-       t.placement_failures t.replacements t.nic_kills t.nf_kills t.attest_ms);
+        \"attest_ms\": %.3f, \"retries\": %d, \"quarantines\": %d, \"readmissions\": %d, \
+        \"watchdog_failovers\": %d, \"health_probes\": %d, \"probe_failures\": %d},\n"
+       t.placement_failures t.replacements t.nic_kills t.nf_kills t.attest_ms t.retries t.quarantines t.readmissions
+       t.watchdog_failovers t.health_probes t.probe_failures);
   Buffer.add_string buf "  \"tenants\": [\n";
   let tenants = sorted_bindings t.tenants in
   List.iteri

@@ -39,11 +39,26 @@ val nf_kill : t -> unit
 (** Accumulate the modeled attestation latency ({!Memprof.Instr_latency.attest_ms}). *)
 val add_attest_ms : t -> float -> unit
 
+(** {2 Self-healing counters (reported by the supervisor)} *)
+
+val retry : t -> unit
+val quarantine : t -> unit
+val readmission : t -> unit
+val watchdog_failover : t -> unit
+val health_probe : t -> unit
+val probe_failure : t -> unit
+
 val placement_failures : t -> int
 val replacements : t -> int
 val nic_kills : t -> int
 val nf_kills : t -> int
 val attest_ms_total : t -> float
+val retries : t -> int
+val quarantines : t -> int
+val readmissions : t -> int
+val watchdog_failovers : t -> int
+val health_probes : t -> int
+val probe_failures : t -> int
 
 val total_attests : t -> int
 val total_forwarded : t -> int

@@ -11,7 +11,17 @@ let cycles_per_byte = function Dpi -> 10.0 | Zip -> 14.0 | Raid -> 4.0 | Crypto 
 
 type cluster = { mutable tlb : Tlb.t; mutable owner : int option; thread_free : int array }
 
-type t = { kind : kind; cluster_size : int; clusters : cluster array }
+type t = {
+  kind : kind;
+  cluster_size : int;
+  clusters : cluster array;
+  mutable faults : Faults.t option;
+  mutable garbage_pending : bool;
+}
+
+(* A hung request "completes" one simulated second out — far past any
+   watchdog budget, so supervisors can tell a wedge from a slow engine. *)
+let hang_horizon = 1_000_000_000
 
 let create ~kind ~threads ~cluster_size =
   if threads <= 0 || cluster_size <= 0 || threads mod cluster_size <> 0 then
@@ -22,7 +32,16 @@ let create ~kind ~threads ~cluster_size =
     clusters =
       Array.init (threads / cluster_size) (fun _ ->
           { tlb = Tlb.create ~capacity:128 (); owner = None; thread_free = Array.make cluster_size 0 });
+    faults = None;
+    garbage_pending = false;
   }
+
+let set_faults t f = t.faults <- Some f
+
+let take_garbage t =
+  let g = t.garbage_pending in
+  t.garbage_pending <- false;
+  g
 
 let kind t = t.kind
 let threads t = Array.length t.clusters * t.cluster_size
@@ -57,6 +76,22 @@ let cluster_tlb t ~cluster = t.clusters.(cluster).tlb
 
 let service_cycles t ~bytes = overhead_cycles t.kind + int_of_float (cycles_per_byte t.kind *. float_of_int bytes)
 
+(* Consult the fault plan for one request: a hang inflates the cost past
+   [hang_horizon] (the thread stays wedged until the cluster is released);
+   garbage completes on time but flags the output as untrustworthy. *)
+let faulted_cost t ~cost ~bytes =
+  match t.faults with
+  | None -> cost
+  | Some f -> (
+    let detail = Printf.sprintf "%s bytes=%d" (kind_name t.kind) bytes in
+    match Faults.fire f ~device:"accel" Faults.Accel_hang ~detail with
+    | Some _ -> cost + hang_horizon
+    | None ->
+      (match Faults.fire f ~device:"accel" Faults.Accel_garbage ~detail with
+      | Some _ -> t.garbage_pending <- true
+      | None -> ());
+      cost)
+
 let submit_cluster c ~cost ~now =
   (* Earliest-free thread of the cluster. *)
   let best = ref 0 in
@@ -67,12 +102,12 @@ let submit_cluster c ~cost ~now =
 
 let submit t ~cluster ~now ~bytes =
   if cluster < 0 || cluster >= Array.length t.clusters then invalid_arg "Accel.submit: bad cluster";
-  submit_cluster t.clusters.(cluster) ~cost:(service_cycles t ~bytes) ~now
+  submit_cluster t.clusters.(cluster) ~cost:(faulted_cost t ~cost:(service_cycles t ~bytes) ~bytes) ~now
 
 let submit_any t ~now ~bytes =
   (* Commodity sharing: frontend scheduler picks the globally
      earliest-free thread. *)
-  let cost = service_cycles t ~bytes in
+  let cost = faulted_cost t ~cost:(service_cycles t ~bytes) ~bytes in
   let best_c = ref 0 and best_t = ref 0 in
   Array.iteri
     (fun ci c ->

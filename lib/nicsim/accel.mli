@@ -31,6 +31,20 @@ val threads : t -> int
 val cluster_size : t -> int
 val cluster_count : t -> int
 
+(** Arm a gray-failure plan: a submitted request may hang (cost inflated
+    past {!hang_horizon}, wedging its thread until the cluster is
+    released) or complete with garbage output (see {!take_garbage}).
+    Unarmed engines behave exactly as before. *)
+val set_faults : t -> Faults.t -> unit
+
+(** Completion-time pad marking a hung request; a done-clock this far out
+    is a wedge, not a queue. *)
+val hang_horizon : int
+
+(** [take_garbage t] — true iff the most recent completion produced
+    garbage output (injected [Accel_garbage]); reading clears the flag. *)
+val take_garbage : t -> bool
+
 (** Ownership (S-NIC mode): clusters are claimed and released whole. *)
 val claim_cluster : t -> nf:int -> int option
 

@@ -7,7 +7,12 @@ type t = {
   mutable busy_until : int; (* FCFS serialization for Free_for_all *)
   client_busy_until : int array; (* per-slot-owner serialization for Temporal *)
   per_client : stats array;
+  mutable faults : Faults.t option;
 }
+
+(* An injected wedge holds the requester's op this long past its normal
+   completion — far beyond any epoch, so health probes can spot it. *)
+let timeout_penalty = 100_000
 
 let create ~policy ~clients =
   if clients <= 0 then invalid_arg "Bus.create: need at least one client";
@@ -20,7 +25,10 @@ let create ~policy ~clients =
     busy_until = 0;
     client_busy_until = Array.make clients 0;
     per_client = Array.make clients { ops = 0; busy_cycles = 0; wait_cycles = 0 };
+    faults = None;
   }
+
+let set_faults t f = t.faults <- Some f
 
 let record t client ~now ~start ~cost =
   let s = t.per_client.(client) in
@@ -52,12 +60,24 @@ let request t ~client ~now ~cost =
       in
       find (max now t.client_busy_until.(client))
   in
+  let cost =
+    match t.faults with
+    | None -> cost
+    | Some f -> (
+      match
+        Faults.fire f ~device:"bus" Faults.Bus_timeout
+          ~detail:(Printf.sprintf "client=%d cost=%d wedged" client cost)
+      with
+      | Some _ -> cost + timeout_penalty
+      | None -> cost)
+  in
   (match t.policy with
   | Free_for_all -> t.busy_until <- start + cost
   | Temporal _ ->
     (* A client's own ops serialize; other clients' slots are untouched —
        the dead time guarantees in-flight ops drain before a slot change,
-       so no cross-client state is needed. *)
+       so no cross-client state is needed. A wedged op therefore stalls
+       only its owner: temporal partitioning contains the gray failure. *)
     t.client_busy_until.(client) <- start + cost);
   record t client ~now ~start ~cost;
   start + cost

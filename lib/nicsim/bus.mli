@@ -18,6 +18,15 @@ type t
     domains. For [Temporal], requires [0 <= dead < epoch]. *)
 val create : policy:policy -> clients:int -> t
 
+(** Arm a gray-failure plan: a request may wedge for {!timeout_penalty}
+    extra cycles ([Faults.Bus_timeout]). Under [Temporal] the wedge
+    stalls only the faulting client's own slot stream — partitioning
+    contains it. Unarmed arbiters behave exactly as before. *)
+val set_faults : t -> Faults.t -> unit
+
+(** Extra completion delay of a wedged operation. *)
+val timeout_penalty : int
+
 (** [request t ~client ~now ~cost] schedules a [cost]-cycle bus operation
     issued at time [now]; returns its completion time. For [Temporal],
     requires [cost <= epoch - dead]. *)

@@ -1,5 +1,12 @@
 type bank = { up : Tlb.t; down : Tlb.t }
-type t = { nic_mem : Physmem.t; host_mem : Physmem.t; banks : bank array }
+
+type t = {
+  nic_mem : Physmem.t;
+  host_mem : Physmem.t;
+  banks : bank array;
+  mutable faults : Faults.t option;
+  mutable stall_cycles : int;
+}
 
 let create ~nic_mem ~host_mem ~banks =
   if banks <= 0 then invalid_arg "Dma.create: need at least one bank";
@@ -7,17 +14,27 @@ let create ~nic_mem ~host_mem ~banks =
     nic_mem;
     host_mem;
     banks = Array.init banks (fun _ -> { up = Tlb.create ~capacity:8 (); down = Tlb.create ~capacity:8 () });
+    faults = None;
+    stall_cycles = 0;
   }
 
 let banks t = Array.length t.banks
 let host_mem t = t.host_mem
 let up_tlb t ~bank = t.banks.(bank).up
 let down_tlb t ~bank = t.banks.(bank).down
+let set_faults t f = t.faults <- Some f
+let stall_cycles t = t.stall_cycles
 
 let reset_bank t ~bank =
   t.banks.(bank) <- { up = Tlb.create ~capacity:8 (); down = Tlb.create ~capacity:8 () }
 
 type direction = To_host | To_nic
+
+type error = Violation of string | Fault of Faults.fault_event
+
+let error_to_string = function
+  | Violation msg -> msg
+  | Fault ev -> Printf.sprintf "DMA fault (%s)" (Faults.event_to_string ev)
 
 (* The whole [vaddr, vaddr+len) range must translate to contiguous
    physical addresses; checking page-stride boundaries plus the final byte
@@ -48,19 +65,56 @@ let transfer ~checked t ~bank ~direction ~nic_addr ~host_addr ~len =
     else begin
       match translate_range tlb ~vaddr ~len ~access with
       | Some p -> Ok p
-      | None -> Error "DMA window violation"
+      | None -> Error (Violation "DMA window violation")
     end
   in
   let nic_access = match direction with To_host -> Tlb.Read | To_nic -> Tlb.Write in
   let host_access = match direction with To_host -> Tlb.Write | To_nic -> Tlb.Read in
   match (resolve b.up nic_addr ~access:nic_access, resolve b.down host_addr ~access:host_access) with
-  | Ok nic_p, Ok host_p ->
-    (match direction with
-    | To_host ->
-      let data = Physmem.read_bytes t.nic_mem ~pos:nic_p ~len in
-      Physmem.write_bytes t.host_mem ~pos:host_p data
-    | To_nic ->
-      let data = Physmem.read_bytes t.host_mem ~pos:host_p ~len in
-      Physmem.write_bytes t.nic_mem ~pos:nic_p data);
-    Ok ()
+  | Ok nic_p, Ok host_p -> (
+    (* Gray failures strike the engine itself, after the window checks:
+       an armed plan can fail the transfer, stall the engine, or flip a
+       single bit of the payload in flight. *)
+    let fail =
+      match t.faults with
+      | None -> None
+      | Some f ->
+        let detail =
+          Printf.sprintf "bank=%d %s len=%d" bank (match direction with To_host -> "to-host" | To_nic -> "to-nic") len
+        in
+        (match Faults.fire f ~device:"dma" Faults.Dma_error ~detail with
+        | Some ev -> Some ev
+        | None ->
+          (match Faults.fire f ~device:"dma" Faults.Dma_stall ~detail with
+          | Some _ -> t.stall_cycles <- t.stall_cycles + 1_000 + Faults.draw_int f 9_000
+          | None -> ());
+          None)
+    in
+    match fail with
+    | Some ev -> Error (Fault ev)
+    | None ->
+      let data =
+        match direction with
+        | To_host -> Physmem.read_bytes t.nic_mem ~pos:nic_p ~len
+        | To_nic -> Physmem.read_bytes t.host_mem ~pos:host_p ~len
+      in
+      let data =
+        match t.faults with
+        | None -> data
+        | Some f -> (
+          match
+            Faults.fire f ~device:"dma" Faults.Dma_corrupt
+              ~detail:(Printf.sprintf "bank=%d len=%d bit-flip in flight" bank len)
+          with
+          | None -> data
+          | Some _ ->
+            let byte = Faults.draw_int f len and bit = Faults.draw_int f 8 in
+            let b = Bytes.of_string data in
+            Bytes.set b byte (Char.chr (Char.code (Bytes.get b byte) lxor (1 lsl bit)));
+            Bytes.to_string b)
+      in
+      (match direction with
+      | To_host -> Physmem.write_bytes t.host_mem ~pos:host_p data
+      | To_nic -> Physmem.write_bytes t.nic_mem ~pos:nic_p data);
+      Ok ())
   | Error e, _ | _, Error e -> Error e

@@ -24,7 +24,23 @@ val down_tlb : t -> bank:int -> Tlb.t
     unlocked ones (teardown path). *)
 val reset_bank : t -> bank:int -> unit
 
+(** Arm a gray-failure plan: transfers may then fail outright
+    ([Faults.Dma_error]), stall the engine ([Faults.Dma_stall], see
+    {!stall_cycles}), or flip one payload bit in flight
+    ([Faults.Dma_corrupt]). Unarmed engines behave exactly as before. *)
+val set_faults : t -> Faults.t -> unit
+
+(** Cycles lost to injected engine stalls so far. *)
+val stall_cycles : t -> int
+
 type direction = To_host | To_nic
+
+(** [Violation] is the architectural check rejecting the transfer (the
+    fail-closed path); [Fault] is an injected gray failure of the engine
+    itself. *)
+type error = Violation of string | Fault of Faults.fault_event
+
+val error_to_string : error -> string
 
 (** [transfer ~checked t ~bank ~direction ~nic_addr ~host_addr ~len].
     When [checked] is true (S-NIC), both addresses must fall inside the
@@ -32,4 +48,4 @@ type direction = To_host | To_nic
     unchecked. Virtual window addresses are translated. *)
 val transfer :
   checked:bool -> t -> bank:int -> direction:direction -> nic_addr:int -> host_addr:int -> len:int ->
-  (unit, string) result
+  (unit, error) result

@@ -42,6 +42,7 @@ type t = {
   alloc : Alloc.t;
   pktio : Pktio.t;
   dma : Dma.t;
+  mutable faults : Faults.t option;
 }
 
 let default_config ~mode =
@@ -95,7 +96,19 @@ let create config =
     alloc;
     pktio = Pktio.create mem alloc ~rx_buffer_bytes:config.rx_buffer_bytes ~tx_buffer_bytes:config.tx_buffer_bytes;
     dma = Dma.create ~nic_mem:mem ~host_mem ~banks:config.cores;
+    faults = None;
   }
+
+(* One plan per machine: every device draws from the same seeded stream,
+   so a seed reproduces the whole NIC's fault schedule. *)
+let set_faults t f =
+  t.faults <- Some f;
+  Dma.set_faults t.dma f;
+  Pktio.set_faults t.pktio f;
+  Bus.set_faults t.config.bus f;
+  List.iter (fun a -> Accel.set_faults a f) t.config.accels
+
+let faults t = t.faults
 
 let mode t = t.config.mode
 let mem t = t.mem

@@ -48,6 +48,14 @@ type config = {
 val default_config : mode:mode -> config
 val create : config -> t
 
+(** [set_faults t plan] arms one gray-failure plan across every device of
+    this NIC (DMA engine, packet IO, bus arbiter, accelerators) — all
+    draw from the same seeded stream, so one seed reproduces the whole
+    machine's fault schedule. Unarmed machines behave exactly as before. *)
+val set_faults : t -> Faults.t -> unit
+
+val faults : t -> Faults.t option
+
 val mode : t -> mode
 val mem : t -> Physmem.t
 val cores : t -> int

@@ -37,6 +37,12 @@ let write_u8 t pos v =
   check t pos 1;
   Bytes.set (page t (pos lsr page_bits)) (pos land (page_size - 1)) (Char.chr (v land 0xff))
 
+(* DRAM rot primitive for fault injection: flips one bit in place,
+   bypassing ownership — exactly what a cosmic ray does. *)
+let flip_bit t ~pos ~bit =
+  if bit < 0 || bit > 7 then invalid_arg "Physmem.flip_bit: bit must be in 0..7";
+  write_u8 t pos (read_u8 t pos lxor (1 lsl bit))
+
 let read_u64 t pos =
   let v = ref 0 in
   for i = 7 downto 0 do

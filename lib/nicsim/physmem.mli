@@ -25,6 +25,10 @@ val size : t -> int
 val read_u8 : t -> int -> int
 val write_u8 : t -> int -> int -> unit
 
+(** [flip_bit t ~pos ~bit] flips bit [bit] (0..7) of the byte at [pos],
+    ignoring ownership — the DRAM-rot primitive for fault injection. *)
+val flip_bit : t -> pos:int -> bit:int -> unit
+
 (** Little-endian 64-bit accessors (used by allocator metadata and
     descriptor rings). Values are OCaml ints (62 significant bits). *)
 val read_u64 : t -> int -> int

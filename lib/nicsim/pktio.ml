@@ -21,6 +21,7 @@ type t = {
   reservations : (int, reservation) Hashtbl.t;
   mutable wire : Bytes.t list; (* reversed *)
   mutable drops : int;
+  mutable faults : Faults.t option;
 }
 
 let create mem alloc ~rx_buffer_bytes ~tx_buffer_bytes =
@@ -34,7 +35,10 @@ let create mem alloc ~rx_buffer_bytes ~tx_buffer_bytes =
     reservations = Hashtbl.create 16;
     wire = [];
     drops = 0;
+    faults = None;
   }
+
+let set_faults t f = t.faults <- Some f
 
 let add_rule t ~m ~nf = t.rules <- t.rules @ [ (m, nf) ]
 let remove_rules_for t ~nf = t.rules <- List.filter (fun (_, n) -> n <> nf) t.rules
@@ -74,7 +78,31 @@ let rule_matches m (p : Net.Packet.t) ~vni =
   && (match m.dst_port with None -> true | Some dp -> dp = pf.dst_port)
   && match m.vni with None -> true | Some v -> vni = Some v
 
+(* Link-level gray failures at ingress: a dropped frame never reaches the
+   switch; a corrupted frame continues with one bit flipped (in a copy),
+   to be caught downstream by the NF's checksum verification. *)
+let rx_fault t frame =
+  match t.faults with
+  | None -> Ok frame
+  | Some f -> (
+    let len = Bytes.length frame in
+    match Faults.fire f ~device:"pktio" Faults.Rx_drop ~detail:(Printf.sprintf "len=%d dropped at ingress" len) with
+    | Some _ -> Error "injected RX drop"
+    | None -> (
+      match Faults.fire f ~device:"pktio" Faults.Rx_corrupt ~detail:(Printf.sprintf "len=%d bit-flip at ingress" len) with
+      | None -> Ok frame
+      | Some _ ->
+        let frame = Bytes.copy frame in
+        let byte = Faults.draw_int f len and bit = Faults.draw_int f 8 in
+        Bytes.set frame byte (Char.chr (Char.code (Bytes.get frame byte) lxor (1 lsl bit)));
+        Ok frame))
+
 let deliver t frame =
+  match rx_fault t frame with
+  | Error e ->
+    t.drops <- t.drops + 1;
+    Error e
+  | Ok frame -> (
   match Net.Packet.parse ~verify_checksums:false frame with
   | Error e ->
     t.drops <- t.drops + 1;
@@ -113,7 +141,7 @@ let deliver t frame =
           Ok nf
       end
     end
-  end
+  end)
 
 let rx_pop t ~nf =
   match Hashtbl.find_opt t.rings nf with
@@ -123,8 +151,17 @@ let rx_pop t ~nf =
 let rx_depth t ~nf = match Hashtbl.find_opt t.rings nf with None -> 0 | Some q -> Sched.length q
 
 let transmit t ~nf:_ ~addr ~len =
-  let frame = Physmem.read_bytes t.mem ~pos:addr ~len in
-  t.wire <- Bytes.of_string frame :: t.wire;
+  let dropped =
+    match t.faults with
+    | None -> false
+    | Some f ->
+      Faults.fire f ~device:"pktio" Faults.Tx_drop ~detail:(Printf.sprintf "len=%d eaten at egress" len) <> None
+  in
+  if dropped then t.drops <- t.drops + 1
+  else begin
+    let frame = Physmem.read_bytes t.mem ~pos:addr ~len in
+    t.wire <- Bytes.of_string frame :: t.wire
+  end;
   Alloc.free t.alloc addr
 
 let wire_out t = List.rev t.wire

@@ -25,6 +25,12 @@ type t
     physical port buffer capacities. *)
 val create : Physmem.t -> Alloc.t -> rx_buffer_bytes:int -> tx_buffer_bytes:int -> t
 
+(** Arm a gray-failure plan: ingress may drop ([Faults.Rx_drop]) or
+    bit-flip ([Faults.Rx_corrupt]) an arriving frame, and egress may eat
+    a departing one ([Faults.Tx_drop], buffer still recycled). Unarmed
+    ports behave exactly as before. *)
+val set_faults : t -> Faults.t -> unit
+
 (** [add_rule t ~m ~nf] directs matching packets to [nf]. Rules are
     consulted in insertion order. *)
 val add_rule : t -> m:rule_match -> nf:int -> unit

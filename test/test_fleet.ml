@@ -132,6 +132,121 @@ let test_deterministic_replay () =
   in
   Alcotest.(check bool) "different seed, different run" false (Fleet.Scenario.summary report3 = s1)
 
+(* ---------- typed placement outcomes ---------- *)
+
+(* A supervisor must be able to tell "the rack is full" (alarm, do not
+   retry) from "the stage/attest path glitched" (transient, retry). *)
+let test_place_typed_no_capacity () =
+  let orch =
+    Fleet.Orchestrator.create
+      { Fleet.Orchestrator.seed = 11; n_nics = 2; n_tenants = 3; policy = Fleet.Policy.First_fit; bytes_per_mb = 1024 }
+  in
+  let tenant = (Fleet.Orchestrator.tenants orch).(0) in
+  Fleet.Orchestrator.evict orch tenant;
+  Array.iter Fleet.Node.kill (Fleet.Orchestrator.nodes orch);
+  (match Fleet.Orchestrator.place orch tenant with
+  | Error Fleet.Orchestrator.No_capacity -> ()
+  | Error e ->
+    Alcotest.fail ("expected No_capacity, got " ^ Fleet.Orchestrator.place_error_to_string e)
+  | Ok () -> Alcotest.fail "placement on a dead rack must not succeed");
+  Alcotest.(check bool) "No_capacity prints usefully" true
+    (String.length (Fleet.Orchestrator.place_error_to_string Fleet.Orchestrator.No_capacity) > 0)
+
+let test_place_typed_stage_fault () =
+  let orch =
+    Fleet.Orchestrator.create
+      { Fleet.Orchestrator.seed = 11; n_nics = 2; n_tenants = 2; policy = Fleet.Policy.First_fit; bytes_per_mb = 1024 }
+  in
+  let tenant = (Fleet.Orchestrator.tenants orch).(0) in
+  Fleet.Orchestrator.evict orch tenant;
+  Array.iter
+    (fun node ->
+      Nicsim.Machine.set_faults
+        (Snic.Api.machine (Fleet.Node.api node))
+        (Faults.plan ~seed:11 { Faults.none with Faults.dma_error = 1.0 }))
+    (Fleet.Orchestrator.nodes orch);
+  (match Fleet.Orchestrator.place orch tenant with
+  | Error (Fleet.Orchestrator.Create_failed (Snic.Api.Stage_fault ev)) ->
+    Alcotest.(check bool) "the event names the DMA site" true (ev.Faults.site = Faults.Dma_error)
+  | Error e ->
+    Alcotest.fail ("expected Stage_fault, got " ^ Fleet.Orchestrator.place_error_to_string e)
+  | Ok () -> Alcotest.fail "placement over a dead DMA engine must not succeed")
+
+(* ---------- evict / replace idempotency + kill-budget clamping ---------- *)
+
+let test_evict_replace_idempotent () =
+  let orch =
+    Fleet.Orchestrator.create
+      { Fleet.Orchestrator.seed = 5; n_nics = 4; n_tenants = 8; policy = Fleet.Policy.First_fit; bytes_per_mb = 1024 }
+  in
+  let tel = Fleet.Orchestrator.telemetry orch in
+  let tenant = (Fleet.Orchestrator.tenants orch).(0) in
+  let stats = Fleet.Telemetry.tenant tel tenant.Fleet.Orchestrator.tid in
+  (* Placing an already-placed tenant is a no-op with stable counters. *)
+  let placements0 = stats.Fleet.Telemetry.placements in
+  (match Fleet.Orchestrator.place orch tenant with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Fleet.Orchestrator.place_error_to_string e));
+  Alcotest.(check int) "re-place of a placed tenant moves nothing" placements0
+    stats.Fleet.Telemetry.placements;
+  (* Orderly NF kill first ([evict] alone models hardware death and
+     would leave the function running on the NIC), then double evict:
+     the second is a no-op, counters stay put. *)
+  (match tenant.Fleet.Orchestrator.placement with
+  | Some p ->
+    let handle = Snic.Vnic.handle p.Fleet.Orchestrator.vnic in
+    (match
+       Snic.Api.nf_destroy (Fleet.Node.api p.Fleet.Orchestrator.node)
+         ~id:handle.Snic.Instructions.id
+     with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail (Snic.Api.destroy_error_to_string e))
+  | None -> Alcotest.fail "tenant not placed at boot");
+  Fleet.Orchestrator.evict orch tenant;
+  let evictions1 = stats.Fleet.Telemetry.evictions in
+  Fleet.Orchestrator.evict orch tenant;
+  Alcotest.(check int) "double evict counts once" evictions1 stats.Fleet.Telemetry.evictions;
+  Alcotest.(check bool) "placement cleared" true (tenant.Fleet.Orchestrator.placement = None);
+  (* Replace: exactly one replacement tick; replacing again is a no-op. *)
+  let replacements0 = Fleet.Telemetry.replacements tel in
+  (match Fleet.Orchestrator.replace orch tenant with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Fleet.Orchestrator.place_error_to_string e));
+  Alcotest.(check int) "one replacement tick" (replacements0 + 1) (Fleet.Telemetry.replacements tel);
+  Alcotest.(check bool) "tenant attested again" true tenant.Fleet.Orchestrator.attested;
+  (match Fleet.Orchestrator.replace orch tenant with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Fleet.Orchestrator.place_error_to_string e));
+  Alcotest.(check int) "replace of a placed tenant is a no-op"
+    (replacements0 + 1) (Fleet.Telemetry.replacements tel);
+  Alcotest.(check int) "hardware agrees after the churn"
+    (Fleet.Orchestrator.attested_count orch) (Fleet.Orchestrator.live_nf_total orch)
+
+let test_failure_inject_clamps () =
+  let orch =
+    Fleet.Orchestrator.create
+      { Fleet.Orchestrator.seed = 13; n_nics = 4; n_tenants = 8; policy = Fleet.Policy.First_fit; bytes_per_mb = 1024 }
+  in
+  let rng = Trace.Rng.create ~seed:13 in
+  (* Budgets far beyond the population clamp instead of raising, and the
+     report preserves what was asked so the clamping is observable. *)
+  let r = Fleet.Failure.inject orch rng ~kill_nics:100 ~kill_nfs:100 in
+  Alcotest.(check int) "requested NIC budget reported" 100 r.Fleet.Failure.nics_requested;
+  Alcotest.(check int) "requested NF budget reported" 100 r.Fleet.Failure.nfs_requested;
+  Alcotest.(check bool) "NIC kills clamped to the rack" true
+    (List.length r.Fleet.Failure.nics_killed <= 4);
+  Alcotest.(check bool) "some NICs actually died" true (List.length r.Fleet.Failure.nics_killed > 0);
+  Alcotest.(check bool) "NF kills clamped to placed survivors" true
+    (List.length r.Fleet.Failure.nfs_killed <= 8);
+  Alcotest.(check int) "scrubs all verified" 0 r.Fleet.Failure.scrub_failures;
+  Alcotest.(check int) "displaced = replaced + stranded" r.Fleet.Failure.displaced
+    (r.Fleet.Failure.replaced + r.Fleet.Failure.stranded);
+  (* Negative budgets clamp to zero kills. *)
+  let r0 = Fleet.Failure.inject orch rng ~kill_nics:(-3) ~kill_nfs:(-1) in
+  Alcotest.(check (list int)) "no NICs killed" [] r0.Fleet.Failure.nics_killed;
+  Alcotest.(check (list int)) "no NFs killed" [] r0.Fleet.Failure.nfs_killed;
+  Alcotest.(check int) "negative request reported as asked" (-3) r0.Fleet.Failure.nics_requested
+
 (* Telemetry CSV export shape stays parseable. *)
 let test_csv_shape () =
   let _, orch = Fleet.Scenario.run_with (small_config Fleet.Policy.First_fit) in
@@ -153,5 +268,9 @@ let suite =
     Alcotest.test_case "invariants: tco-aware" `Slow test_invariants_tco_aware;
     Alcotest.test_case "full 16-NIC/64-tenant rack" `Slow test_full_rack;
     Alcotest.test_case "deterministic replay" `Slow test_deterministic_replay;
+    Alcotest.test_case "typed place error: no capacity" `Quick test_place_typed_no_capacity;
+    Alcotest.test_case "typed place error: stage fault" `Quick test_place_typed_stage_fault;
+    Alcotest.test_case "evict/replace idempotency" `Quick test_evict_replace_idempotent;
+    Alcotest.test_case "kill budgets clamp and report" `Quick test_failure_inject_clamps;
     Alcotest.test_case "telemetry CSV shape" `Slow test_csv_shape;
   ]

@@ -8,11 +8,18 @@ open Nicsim
 
 let secret_of id = Printf.sprintf "secret-of-nf-%d-%08x" id (id * 0x9E3779)
 
-(* One fuzz run: a scripted random interleaving driven by [seed]. *)
-let fuzz_run seed =
+(* One fuzz run: a scripted random interleaving driven by [seed]. With
+   [rates], a gray-failure storm is armed on the machine first: staging
+   DMA errors turn some launches into typed failures and packet faults
+   drop or corrupt traffic, but the isolation and scrub invariants
+   checked below must hold exactly as on a clean NIC. *)
+let fuzz_run ?rates seed =
   let rng = Trace.Rng.create ~seed in
   let api = Snic.Api.boot () in
   let m = Snic.Api.machine api in
+  (match rates with
+  | Some r -> Machine.set_faults m (Faults.plan ~seed:(seed lxor 0xFA17) r)
+  | None -> ());
   let live : (int, Snic.Vnic.t) Hashtbl.t = Hashtbl.create 8 in
   let launches = ref 0 and teardowns = ref 0 and denials = ref 0 in
   let check_isolation () =
@@ -113,6 +120,25 @@ let test_fuzz_isolation_invariant () =
   Alcotest.(check bool) (Printf.sprintf "launched plenty (%d)" !total_launches) true (!total_launches > 20);
   Alcotest.(check bool) (Printf.sprintf "denials observed (%d)" !total_denials) true (!total_denials > 50)
 
+(* The same interleavings under a cranked fault storm: launches now race
+   stage faults and the wire loses or corrupts frames, yet the
+   single-owner invariant, the OS denylist and the teardown scrub must
+   be exactly as absolute as on a healthy NIC. *)
+let test_fuzz_isolation_under_faults () =
+  let rates = Faults.storm ~intensity:2.0 () in
+  let total_launches = ref 0 and total_denials = ref 0 in
+  for seed = 1 to 8 do
+    let launches, _teardowns, denials = fuzz_run ~rates seed in
+    total_launches := !total_launches + launches;
+    total_denials := !total_denials + denials
+  done;
+  (* Faults shrink the population (failed stages are legitimate) but the
+     interesting paths must still have been exercised. *)
+  Alcotest.(check bool) (Printf.sprintf "launches survived the storm (%d)" !total_launches) true
+    (!total_launches > 5);
+  Alcotest.(check bool) (Printf.sprintf "denials still observed (%d)" !total_denials) true
+    (!total_denials > 10)
+
 (* Lifecycle soak: fill the NIC to capacity, run traffic, tear half down,
    refill, and verify resource accounting never drifts. *)
 let test_soak_lifecycle () =
@@ -169,5 +195,6 @@ let test_soak_lifecycle () =
 let suite =
   [
     Alcotest.test_case "fuzz: single-owner invariant" `Slow test_fuzz_isolation_invariant;
+    Alcotest.test_case "fuzz: invariant under fault storm" `Slow test_fuzz_isolation_under_faults;
     Alcotest.test_case "soak: fill/drain/refill lifecycle" `Quick test_soak_lifecycle;
   ]

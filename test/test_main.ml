@@ -20,4 +20,6 @@ let () =
       ("uarch", Test_uarch.suite);
       ("accelfn", Test_accelfn.suite);
       ("fleet", Test_fleet.suite);
+      ("faults", Test_faults.suite);
+      ("chaos", Test_chaos.suite);
     ]

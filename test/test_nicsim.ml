@@ -382,7 +382,7 @@ let test_dma_unchecked () =
   Physmem.write_bytes nic ~pos:0x1000 "secret-from-nic";
   (match Dma.transfer ~checked:false d ~bank:0 ~direction:Dma.To_host ~nic_addr:0x1000 ~host_addr:0x2000 ~len:15 with
   | Ok () -> Alcotest.(check string) "copied" "secret-from-nic" (Physmem.read_bytes host ~pos:0x2000 ~len:15)
-  | Error e -> Alcotest.fail e)
+  | Error e -> Alcotest.fail (Dma.error_to_string e))
 
 let test_dma_checked_windows () =
   let nic = Physmem.create ~size:(4 * mb) in
@@ -395,12 +395,12 @@ let test_dma_checked_windows () =
   Physmem.write_bytes nic ~pos:0x100040 "windowed";
   (match Dma.transfer ~checked:true d ~bank:0 ~direction:Dma.To_host ~nic_addr:0x40 ~host_addr:0x80 ~len:8 with
   | Ok () -> Alcotest.(check string) "through window" "windowed" (Physmem.read_bytes host ~pos:0x200080 ~len:8)
-  | Error e -> Alcotest.fail e);
+  | Error e -> Alcotest.fail (Dma.error_to_string e));
   (* Outside the window: rejected. *)
   match Dma.transfer ~checked:true d ~bank:0 ~direction:Dma.To_host ~nic_addr:0x20000 ~host_addr:0x80 ~len:8 with
-  | Error "DMA window violation" -> ()
+  | Error (Dma.Violation "DMA window violation") -> ()
   | Ok () -> Alcotest.fail "window escape"
-  | Error e -> Alcotest.failf "unexpected: %s" e
+  | Error e -> Alcotest.failf "unexpected: %s" (Dma.error_to_string e)
 
 (* ---------- Machine access-control matrix ---------- *)
 
