@@ -9,13 +9,20 @@ let fast = Array.exists (String.equal "--fast") Sys.argv
 
 (* --json FILE: dump every scalar metric the sections register to FILE
    as a flat JSON object, so trend tooling can track runs over time. *)
-let json_path =
+let path_after flag =
   let rec find i =
     if i >= Array.length Sys.argv - 1 then None
-    else if String.equal Sys.argv.(i) "--json" then Some Sys.argv.(i + 1)
+    else if String.equal Sys.argv.(i) flag then Some Sys.argv.(i + 1)
     else find (i + 1)
   in
   find 1
+
+let json_path = path_after "--json"
+
+(* --metrics FILE: dump the seed-42 chaos run's shared Obs registry
+   (device counters + fleet counters + latency histograms) as Prometheus
+   text — the same registry `snic_cli trace --metrics` exports. *)
+let metrics_path = path_after "--metrics"
 
 let metrics : (string * float) list ref = ref []
 let metric name value = metrics := (name, value) :: !metrics
@@ -560,14 +567,29 @@ let chaos_section () =
   let seeds = if fast then [ 42; 1337 ] else [ 42; 1337; 20240 ] in
   List.iter
     (fun seed ->
-      let r = Fleet.Chaos.run { Fleet.Chaos.default_config with Fleet.Chaos.seed } in
-      Printf.printf "%-8d %8d %8.2f %8.2f %8.2f %9.4f %6d %7d %11d\n" seed r.Fleet.Chaos.total_faults
-        r.Fleet.Chaos.recovery_p50 r.Fleet.Chaos.recovery_p90 r.Fleet.Chaos.recovery_p99 r.Fleet.Chaos.goodput
-        r.Fleet.Chaos.quarantines r.Fleet.Chaos.readmissions r.Fleet.Chaos.unattested_running;
+      (* Record device events only when --metrics asked for the dump; the
+         null sink keeps the benchmark itself overhead-free. *)
+      let sink = if seed = 42 && metrics_path <> None then Obs.create () else Obs.null in
+      let r, orch = Fleet.Chaos.run_with ~sink { Fleet.Chaos.default_config with Fleet.Chaos.seed } in
+      (match (metrics_path, Obs.is_null sink) with
+      | Some path, false ->
+        let oc = open_out path in
+        output_string oc (Fleet.Telemetry.prometheus (Fleet.Orchestrator.telemetry orch));
+        close_out oc;
+        Printf.printf "(wrote seed-%d registry dump to %s)\n" seed path
+      | _ -> ());
+      let q = Fleet.Chaos.quantile_str in
+      Printf.printf "%-8d %8d %8s %8s %8s %9.4f %6d %7d %11d\n" seed r.Fleet.Chaos.total_faults
+        (q r.Fleet.Chaos.recovery_p50) (q r.Fleet.Chaos.recovery_p90) (q r.Fleet.Chaos.recovery_p99)
+        r.Fleet.Chaos.goodput r.Fleet.Chaos.quarantines r.Fleet.Chaos.readmissions
+        r.Fleet.Chaos.unattested_running;
       let m name v = metric (Printf.sprintf "chaos.seed%d.%s" seed name) v in
-      m "recovery_p50_ms" r.Fleet.Chaos.recovery_p50;
-      m "recovery_p90_ms" r.Fleet.Chaos.recovery_p90;
-      m "recovery_p99_ms" r.Fleet.Chaos.recovery_p99;
+      (* A quantile that does not exist (< 2 samples) is omitted from the
+         JSON rather than recorded as a fabricated 0.0. *)
+      let mq name v = match v with None -> () | Some v -> m name v in
+      mq "recovery_p50_ms" r.Fleet.Chaos.recovery_p50;
+      mq "recovery_p90_ms" r.Fleet.Chaos.recovery_p90;
+      mq "recovery_p99_ms" r.Fleet.Chaos.recovery_p99;
       m "recovery_samples" (float_of_int (List.length r.Fleet.Chaos.recovery_ms));
       m "goodput" r.Fleet.Chaos.goodput;
       m "total_faults" (float_of_int r.Fleet.Chaos.total_faults);

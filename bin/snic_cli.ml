@@ -9,7 +9,8 @@
      snic_cli dpi --threads N --frame B — one Figure-8 point
      snic_cli timeline                — Figure 7 series as CSV
      snic_cli fleet [--nics N ...]    — seeded multi-NIC fleet scenario
-     snic_cli chaos [--intensity X ...] — gray-failure storm + self-healing *)
+     snic_cli chaos [--intensity X ...] — gray-failure storm + self-healing
+     snic_cli trace chaos --out t.json — record a Chrome trace of a scenario *)
 
 open Cmdliner
 
@@ -18,6 +19,15 @@ open Cmdliner
    their historic fixed seeds when it is omitted). *)
 let seed_arg =
   Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc:"Seed for the synthetic trace generators")
+
+let metrics_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ] ~docv:"FILE" ~doc:"Write a Prometheus text dump of the run's metric registry to $(docv)")
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
 
 let attacks_cmd =
   let run () =
@@ -211,7 +221,7 @@ let fleet_cmd =
   let kill_nfs = Arg.(value & opt int 4 & info [ "kill-nfs" ] ~doc:"Orderly NF kills injected over the run") in
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit per-tenant and per-NIC telemetry as CSV") in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the full telemetry tree as JSON") in
-  let run seed nics tenants policy rounds packets kill_nics kill_nfs csv json =
+  let run seed nics tenants policy rounds packets kill_nics kill_nfs csv json metrics =
     match Fleet.Policy.of_string policy with
     | Error e ->
       prerr_endline e;
@@ -230,7 +240,10 @@ let fleet_cmd =
           kill_nfs;
         }
       in
-      let report, orch = Fleet.Scenario.run_with config in
+      (* Only record device events when someone asked for the metrics
+         dump — the null sink keeps the default run overhead-free. *)
+      let sink = if metrics = None then Obs.null else Obs.create () in
+      let report, orch = Fleet.Scenario.run_with ~sink config in
       let telemetry = Fleet.Orchestrator.telemetry orch in
       if json then print_string (Fleet.Telemetry.to_json telemetry)
       else begin
@@ -242,11 +255,14 @@ let fleet_cmd =
           print_string (Fleet.Telemetry.nics_csv telemetry)
         end
       end;
+      (match metrics with Some path -> write_file path (Fleet.Telemetry.prometheus telemetry) | None -> ());
       if report.Fleet.Scenario.unattested_running > 0 || report.Fleet.Scenario.scrub_failures > 0 then exit 1
   in
   Cmd.v
     (Cmd.info "fleet" ~doc:"Seeded multi-NIC fleet scenario: attested placement, traffic, failure recovery")
-    Term.(const run $ seed_arg $ nics $ tenants $ policy $ rounds $ packets $ kill_nics $ kill_nfs $ csv $ json)
+    Term.(
+      const run $ seed_arg $ nics $ tenants $ policy $ rounds $ packets $ kill_nics $ kill_nfs $ csv $ json
+      $ metrics_arg)
 
 let chaos_cmd =
   let nics = Arg.(value & opt int 8 & info [ "nics" ] ~doc:"NICs in the rack") in
@@ -268,7 +284,7 @@ let chaos_cmd =
   let kill_nfs = Arg.(value & opt int 2 & info [ "kill-nfs" ] ~doc:"Orderly NF kills over the run") in
   let log = Arg.(value & flag & info [ "log" ] ~doc:"Print the replayable fault-injection log") in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the full telemetry tree as JSON") in
-  let run seed nics tenants policy rounds packets intensity stride flips kill_nics kill_nfs log json =
+  let run seed nics tenants policy rounds packets intensity stride flips kill_nics kill_nfs log json metrics =
     match Fleet.Policy.of_string policy with
     | Error e ->
       prerr_endline e;
@@ -290,8 +306,10 @@ let chaos_cmd =
           kill_nfs;
         }
       in
-      let report, orch = Fleet.Chaos.run_with config in
-      if json then print_string (Fleet.Telemetry.to_json (Fleet.Orchestrator.telemetry orch))
+      let sink = if metrics = None then Obs.null else Obs.create () in
+      let report, orch = Fleet.Chaos.run_with ~sink config in
+      let telemetry = Fleet.Orchestrator.telemetry orch in
+      if json then print_string (Fleet.Telemetry.to_json telemetry)
       else begin
         print_string (Fleet.Chaos.summary report);
         if log then begin
@@ -299,6 +317,7 @@ let chaos_cmd =
           print_string report.Fleet.Chaos.injection_log
         end
       end;
+      (match metrics with Some path -> write_file path (Fleet.Telemetry.prometheus telemetry) | None -> ());
       if report.Fleet.Chaos.unattested_running > 0 || report.Fleet.Chaos.scrub_failures > 0 then exit 1
   in
   Cmd.v
@@ -306,7 +325,68 @@ let chaos_cmd =
        ~doc:"Gray-failure storm: fault injection across the fleet with self-healing recovery")
     Term.(
       const run $ seed_arg $ nics $ tenants $ policy $ rounds $ packets $ intensity $ stride $ flips $ kill_nics
-      $ kill_nfs $ log $ json)
+      $ kill_nfs $ log $ json $ metrics_arg)
+
+let trace_cmd =
+  let scenario =
+    Arg.(value & pos 0 (enum [ ("chaos", `Chaos); ("fleet", `Fleet) ]) `Chaos
+         & info [] ~docv:"SCENARIO" ~doc:"Scenario to trace: $(b,chaos) or $(b,fleet)")
+  in
+  let out =
+    Arg.(value & opt string "trace.json"
+         & info [ "out" ] ~docv:"FILE" ~doc:"Chrome trace_event JSON output path (load it in ui.perfetto.dev)")
+  in
+  let run seed scenario out metrics =
+    let sink = Obs.create () in
+    let orch =
+      match scenario with
+      | `Chaos ->
+        let config =
+          {
+            Fleet.Chaos.default_config with
+            Fleet.Chaos.seed = Option.value seed ~default:Fleet.Chaos.default_config.Fleet.Chaos.seed;
+          }
+        in
+        let report, orch = Fleet.Chaos.run_with ~sink config in
+        print_string (Fleet.Chaos.summary report);
+        orch
+      | `Fleet ->
+        let config =
+          {
+            Fleet.Scenario.default_config with
+            Fleet.Scenario.seed = Option.value seed ~default:Fleet.Scenario.default_config.Fleet.Scenario.seed;
+          }
+        in
+        let report, orch = Fleet.Scenario.run_with ~sink config in
+        print_string (Fleet.Scenario.summary report);
+        orch
+    in
+    write_file out (Obs.Chrome.to_json sink);
+    let telemetry = Fleet.Orchestrator.telemetry orch in
+    (match metrics with Some path -> write_file path (Fleet.Telemetry.prometheus telemetry) | None -> ());
+    (* Self-check: the exported trace must agree with the registry's own
+       accounting of itself before anyone loads it in a viewer. *)
+    let events = Obs.events sink in
+    let begun = ref 0 and ended = ref 0 in
+    List.iter
+      (fun (e : Obs.event) ->
+        match e.Obs.phase with Obs.Span_begin -> incr begun | Obs.Span_end -> incr ended | Obs.Instant -> ())
+      events;
+    let counter name = List.assoc_opt name (Obs.Metrics.counters (Fleet.Telemetry.registry telemetry)) in
+    Printf.printf "trace: %d events (%d spans) -> %s\n" (List.length events) !begun out;
+    if !begun <> !ended then begin
+      Printf.eprintf "trace self-check FAILED: %d span begins vs %d span ends\n" !begun !ended;
+      exit 1
+    end;
+    if counter "obs_spans_begun_total" <> Some !begun || Obs.span_count sink <> !begun then begin
+      Printf.eprintf "trace self-check FAILED: trace span count disagrees with registry counters\n";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a scenario with a recording sink and export a Chrome trace_event JSON (perfetto-loadable)")
+    Term.(const run $ seed_arg $ scenario $ out $ metrics_arg)
 
 let () =
   let info = Cmd.info "snic_cli" ~doc:"S-NIC (EuroSys'24) reproduction experiments" in
@@ -315,5 +395,5 @@ let () =
        (Cmd.group info
           [
             attacks_cmd; dos_cmd; covert_cmd; probe_cmd; tco_cmd; overhead_cmd; tlb_cmd; pack_cmd; table6_cmd;
-            ipc_cmd; dpi_cmd; fig5_cmd; fig8_cmd; timeline_cmd; fleet_cmd; chaos_cmd;
+            ipc_cmd; dpi_cmd; fig5_cmd; fig8_cmd; timeline_cmd; fleet_cmd; chaos_cmd; trace_cmd;
           ]))

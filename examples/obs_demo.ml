@@ -1,0 +1,31 @@
+(* obs_demo: record a Chrome trace and a Prometheus dump of one chaos
+   scenario, printing where each artifact went and a counter digest.
+
+     dune exec examples/obs_demo.exe
+
+   Load the trace at https://ui.perfetto.dev (open trace file): one
+   process lane per NIC, one thread lane per serially-executing device
+   unit (bus client, DMA bank, accelerator thread, core TLB). *)
+
+let () =
+  let sink = Obs.create () in
+  let config = { Fleet.Chaos.default_config with Fleet.Chaos.rounds = 4; packets_per_round = 200 } in
+  let report, orch = Fleet.Chaos.run_with ~sink config in
+  print_string (Fleet.Chaos.summary report);
+  let trace = "obs_demo_trace.json" in
+  let prom = "obs_demo_metrics.prom" in
+  let write path contents =
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc
+  in
+  write trace (Obs.Chrome.to_json sink);
+  write prom (Fleet.Telemetry.prometheus (Fleet.Orchestrator.telemetry orch));
+  Printf.printf "\nwrote %s (%d events, %d spans) and %s\n" trace
+    (List.length (Obs.events sink))
+    (Obs.span_count sink) prom;
+  print_endline "device counters for the run:";
+  List.iter
+    (fun (name, v) ->
+      if v > 0 && String.length name > 5 && String.sub name 0 5 = "snic_" then Printf.printf "  %-28s %d\n" name v)
+    (Obs.Metrics.counters (Fleet.Telemetry.registry (Fleet.Orchestrator.telemetry orch)))

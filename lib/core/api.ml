@@ -25,7 +25,19 @@ let create_error_to_string = function
   | Stage_failed msg -> msg
   | Launch_failed msg -> msg
 
-let nf_create_r t (config : Instructions.launch_config) =
+(* Wrap a control-plane call in a span on the machine's ctrl track;
+   [ok] classifies the result so the closing event can carry success
+   (arg=1) or failure (arg=0).  Timestamps are sequence numbers — the
+   control plane has no cycle clock. *)
+let ctrl_span m name ~ok f =
+  let sink = Machine.sink m in
+  Obs.span_begin sink ~ts:(Obs.seq sink) ~track:Machine.track_ctrl Obs.Ctrl name ~arg:0;
+  let result = f () in
+  Obs.span_end sink ~ts:(Obs.seq sink) ~track:Machine.track_ctrl Obs.Ctrl name
+    ~arg:(if ok result then 1 else 0);
+  result
+
+let nf_create_body t (config : Instructions.launch_config) =
   let m = machine t in
   (* Stage the image through host memory and DMA, as the real management
      flow does (§4.1). The staging buffer is OS memory; nf_launch copies
@@ -73,6 +85,9 @@ let nf_create_r t (config : Instructions.launch_config) =
     | Error e -> Error (Launch_failed (Instructions.error_to_string e))
   end
 
+let nf_create_r t config =
+  ctrl_span (machine t) "nf_create" ~ok:Result.is_ok (fun () -> nf_create_body t config)
+
 let nf_create t config = Result.map_error create_error_to_string (nf_create_r t config)
 
 type destroy_error = Already_destroyed of int | Never_created of int | Destroy_failed of string
@@ -83,11 +98,12 @@ let destroy_error_to_string = function
   | Destroy_failed msg -> msg
 
 let nf_destroy t ~id =
-  match Instructions.nf_teardown t.instr ~id with
-  | Ok _ -> Ok ()
-  | Error (Instructions.Function_destroyed id) -> Error (Already_destroyed id)
-  | Error (Instructions.Unknown_function id) -> Error (Never_created id)
-  | Error e -> Error (Destroy_failed (Instructions.error_to_string e))
+  ctrl_span (machine t) "nf_destroy" ~ok:Result.is_ok (fun () ->
+      match Instructions.nf_teardown t.instr ~id with
+      | Ok _ -> Ok ()
+      | Error (Instructions.Function_destroyed id) -> Error (Already_destroyed id)
+      | Error (Instructions.Unknown_function id) -> Error (Never_created id)
+      | Error e -> Error (Destroy_failed (Instructions.error_to_string e)))
 
 let inject t frame = Pktio.deliver (Machine.pktio (machine t)) frame
 let inject_packet t pkt = inject t (Net.Packet.serialize pkt)

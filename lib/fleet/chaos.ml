@@ -67,18 +67,13 @@ type report = {
   total_faults : int;
   injection_log : string;
   recovery_ms : float list;
-  recovery_p50 : float;
-  recovery_p90 : float;
-  recovery_p99 : float;
+  recovery_p50 : float option;
+  recovery_p90 : float option;
+  recovery_p99 : float option;
   goodput : float;
   alive_nics : int;
   quarantined_nics : int;
 }
-
-let percentile sorted p =
-  let n = Array.length sorted in
-  if n = 0 then 0.
-  else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
 
 (* Spread the failure budget over the gaps between rounds (same shape as
    Scenario): gap g of R-1 gets the g-th share. *)
@@ -129,9 +124,9 @@ let dram_rot orch rng =
       | None -> ())
   end
 
-let run_with config =
+let run_with ?(sink = Obs.null) config =
   let orch =
-    Orchestrator.create
+    Orchestrator.create ~sink
       {
         Orchestrator.seed = config.seed;
         n_nics = config.n_nics;
@@ -191,7 +186,6 @@ let run_with config =
   let telemetry = Orchestrator.telemetry orch in
   let nodes = Orchestrator.nodes orch in
   let recovery_ms = Supervisor.recovery_samples_ms sup in
-  let sorted = Array.of_list (List.sort compare recovery_ms) in
   let fault_counts =
     List.map
       (fun site ->
@@ -236,9 +230,9 @@ let run_with config =
       total_faults = total_fleet_faults orch;
       injection_log;
       recovery_ms;
-      recovery_p50 = percentile sorted 0.50;
-      recovery_p90 = percentile sorted 0.90;
-      recovery_p99 = percentile sorted 0.99;
+      recovery_p50 = Supervisor.recovery_quantile_ms sup 0.50;
+      recovery_p90 = Supervisor.recovery_quantile_ms sup 0.90;
+      recovery_p99 = Supervisor.recovery_quantile_ms sup 0.99;
       goodput =
         (if !injected_total = 0 then 0. else float_of_int !forwarded_total /. float_of_int !injected_total);
       alive_nics = Array.fold_left (fun acc n -> if Node.alive n then acc + 1 else acc) 0 nodes;
@@ -248,6 +242,10 @@ let run_with config =
   (report, orch)
 
 let run config = fst (run_with config)
+
+(* "-" rather than a fabricated 0.00ms when there are too few samples
+   for the quantile to mean anything. *)
+let quantile_str = function None -> "-" | Some v -> Printf.sprintf "%.2fms" v
 
 let summary r =
   let b = Buffer.create 2048 in
@@ -275,8 +273,9 @@ let summary r =
     r.total_faults;
   Printf.bprintf b "  healing: retries=%d quarantines=%d readmissions=%d watchdog-failovers=%d alarms=%d settle-ticks=%d\n"
     r.retries r.quarantines r.readmissions r.watchdog_failovers r.alarms r.settle_ticks;
-  Printf.bprintf b "  recovery: samples=%d p50=%.2fms p90=%.2fms p99=%.2fms goodput=%.4f\n"
-    (List.length r.recovery_ms) r.recovery_p50 r.recovery_p90 r.recovery_p99 r.goodput;
+  Printf.bprintf b "  recovery: samples=%d p50=%s p90=%s p99=%s goodput=%.4f\n"
+    (List.length r.recovery_ms) (quantile_str r.recovery_p50) (quantile_str r.recovery_p90)
+    (quantile_str r.recovery_p99) r.goodput;
   Printf.bprintf b "  end: attested=%d unplaced=%d replacements=%d nics alive=%d quarantined=%d\n" r.final_attested
     r.final_unplaced r.replacements r.alive_nics r.quarantined_nics;
   Printf.bprintf b "  invariants: unattested_running=%d scrub_failures=%d max_unattested_observed=%d\n"

@@ -60,9 +60,9 @@ type report = {
   total_faults : int;
   injection_log : string; (* per-NIC logs, replayable byte-for-byte *)
   recovery_ms : float list; (* fault -> re-attested, oldest first *)
-  recovery_p50 : float;
-  recovery_p90 : float;
-  recovery_p99 : float;
+  recovery_p50 : float option; (* None until >= 2 samples exist *)
+  recovery_p90 : float option;
+  recovery_p99 : float option;
   goodput : float; (* forwarded / injected across all rounds *)
   alive_nics : int;
   quarantined_nics : int;
@@ -70,8 +70,16 @@ type report = {
 
 val run : config -> report
 
-(** [run_with config] also hands back the orchestrator for inspection. *)
-val run_with : config -> report * Orchestrator.t
+(** [run_with ?sink config] also hands back the orchestrator for
+    inspection.  When [sink] records ({!Obs.create}), every NIC traces
+    its device events into it (one Chrome pid per NIC) and the fleet
+    telemetry shares its registry — this is what [snic_cli trace]
+    uses. *)
+val run_with : ?sink:Obs.sink -> config -> report * Orchestrator.t
+
+(** ["-"] for [None], ["12.34ms"] for [Some] — how the summary and the
+    bench render optional recovery quantiles. *)
+val quantile_str : float option -> string
 
 (** Human-readable rollup. The invariants line is stable and greppable:
     ["invariants: unattested_running=0 scrub_failures=0 ..."] on a

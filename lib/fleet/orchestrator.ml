@@ -130,11 +130,16 @@ let evict t tenant =
   tenant.placement <- None;
   tenant.attested <- false
 
-let create config =
+let create ?(sink = Obs.null) config =
   let vendor = Snic.Identity.make_vendor ~seed:config.seed ~name:"Fleet Operator NIC Vendor" () in
   let nodes =
     Array.init config.n_nics (fun i ->
-        Node.boot ~identity_seed:(config.seed + (7919 * (i + 1))) ~vendor ~id:i (Node.shape_of_index i))
+        let node = Node.boot ~identity_seed:(config.seed + (7919 * (i + 1))) ~vendor ~id:i (Node.shape_of_index i) in
+        (* Each NIC records into the shared stream under its own pid. *)
+        let nic_sink = Obs.for_process sink ~pid:i in
+        Obs.name_process nic_sink ~pid:i (Printf.sprintf "nic%d" i);
+        Nicsim.Machine.set_sink (Snic.Api.machine (Node.api node)) nic_sink;
+        node)
   in
   let tenants =
     Array.init config.n_tenants (fun i ->
@@ -152,7 +157,7 @@ let create config =
       vendor;
       nodes;
       tenants;
-      telemetry = Telemetry.create ();
+      telemetry = Telemetry.create ?registry:(Obs.registry sink) ();
       rng = Random.State.make [| config.seed; 0xA77E57 |];
     }
   in

@@ -30,8 +30,13 @@ type tenant = {
 
 type t
 
-(** [create config] boots the NICs and places + attests every tenant. *)
-val create : config -> t
+(** [create ?sink config] boots the NICs and places + attests every
+    tenant.  When [sink] is a recording sink, every NIC's devices trace
+    into it under the NIC's id as Chrome pid, and the fleet telemetry
+    registers its counters in the sink's registry (one Prometheus dump
+    covers both).  Default: {!Obs.null} — no recording, branch-only
+    overhead. *)
+val create : ?sink:Obs.sink -> config -> t
 
 val config : t -> config
 val nodes : t -> Node.t array

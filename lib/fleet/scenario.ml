@@ -44,9 +44,9 @@ let budget_for ~total ~gaps ~gap =
   if gaps <= 0 then if gap = 0 then total else 0
   else (total * (gap + 1) / gaps) - (total * gap / gaps)
 
-let run_with config =
+let run_with ?(sink = Obs.null) config =
   let orch =
-    Orchestrator.create
+    Orchestrator.create ~sink
       {
         Orchestrator.seed = config.seed;
         n_nics = config.n_nics;

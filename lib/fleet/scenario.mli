@@ -43,5 +43,7 @@ val summary : report -> string
 
 (** Telemetry exports for the run behind [report] are taken from the
     orchestrator; [run_with] returns it alongside the report when the
-    caller needs raw counters. *)
-val run_with : config -> report * Orchestrator.t
+    caller needs raw counters.  A recording [sink] traces every NIC's
+    devices (one Chrome pid per NIC) and shares its metrics registry
+    with the fleet telemetry. *)
+val run_with : ?sink:Obs.sink -> config -> report * Orchestrator.t

@@ -41,6 +41,7 @@ type t = {
   mutable clock : int; (* logical cycle clock, shared by probes and backoff *)
   evicted_at : (int, int) Hashtbl.t; (* tenant id -> clock when displaced *)
   mutable recovery_cycles : int list; (* newest first *)
+  recovery_hist : Obs.Metrics.histogram; (* same samples, in the shared registry *)
   mutable alarms : int; (* No_capacity placements — retrying cannot help *)
   mutable scrub_failures : int;
 }
@@ -57,6 +58,10 @@ let create ~seed orch config =
     clock = 0;
     evicted_at = Hashtbl.create 64;
     recovery_cycles = [];
+    recovery_hist =
+      Obs.Metrics.histogram ~help:"tenant displacement-to-reattestation latency"
+        (Telemetry.registry (Orchestrator.telemetry orch))
+        "fleet_recovery_ms";
     alarms = 0;
     scrub_failures = 0;
   }
@@ -70,6 +75,11 @@ let breaker t ~nic = t.nics.(nic).breaker
 let cycles_per_ms = 1_200_000. (* 1.2 GHz cores *)
 let recovery_samples_ms t = List.rev_map (fun c -> float_of_int c /. cycles_per_ms) t.recovery_cycles
 
+(* The shared quantile convention (Metrics.quantile_of_samples): [None]
+   until there are at least 2 samples — a single displacement has no
+   p99, and the old code happily interpolated garbage out of it. *)
+let recovery_quantile_ms t q = Obs.Metrics.quantile_of_samples (recovery_samples_ms t) q
+
 (* Note the displacement time so the re-attestation that eventually
    lands can be turned into a recovery-latency sample. *)
 let note_evict t (tenant : Orchestrator.tenant) =
@@ -81,7 +91,9 @@ let note_recovered t (tenant : Orchestrator.tenant) =
   match Hashtbl.find_opt t.evicted_at tenant.Orchestrator.tid with
   | None -> ()
   | Some at ->
-    t.recovery_cycles <- (t.clock - at) :: t.recovery_cycles;
+    let cycles = t.clock - at in
+    t.recovery_cycles <- cycles :: t.recovery_cycles;
+    Obs.Metrics.observe t.recovery_hist (float_of_int cycles /. cycles_per_ms);
     Hashtbl.remove t.evicted_at tenant.Orchestrator.tid
 
 (* Bounded retry with exponential backoff + seeded jitter. Stage faults

@@ -36,6 +36,10 @@ type breaker = Closed | Open of { until_round : int } | Probation of { until_rou
 
 type t
 
+(** [create ~seed orch config] — the supervisor's jitter stream derives
+    from [seed]; recovery-latency samples are also observed into the
+    [fleet_recovery_ms] histogram of the orchestrator's telemetry
+    registry. *)
 val create : seed:int -> Orchestrator.t -> config -> t
 
 (** The logical cycle clock (advanced by ticks and backoff waits). *)
@@ -47,7 +51,10 @@ val alarms : t -> int
 (** Teardowns whose RAM was not zero afterwards — must stay 0. *)
 val scrub_failures : t -> int
 
+(** Current health score of a NIC, clamped to [0, 100]. *)
 val health : t -> nic:int -> int
+
+(** Current circuit-breaker state of a NIC. *)
 val breaker : t -> nic:int -> breaker
 
 (** [place_with_retry t tenant] — {!Orchestrator.replace} under bounded
@@ -70,3 +77,8 @@ val tick : t -> round:int -> unit
 (** Fault→re-attested latency samples, in milliseconds at 1.2 GHz,
     oldest first. *)
 val recovery_samples_ms : t -> float list
+
+(** [recovery_quantile_ms t q] — the [q]-quantile (in [0,1]) of the
+    recovery samples via {!Obs.Metrics.quantile_of_samples}: [None]
+    until at least 2 samples exist (a single displacement has no p99). *)
+val recovery_quantile_ms : t -> float -> float option

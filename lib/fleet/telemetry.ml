@@ -15,38 +15,51 @@ type nic_stats = {
   mutable injected : int;
 }
 
+(* Fleet-wide counters live in a shared Obs.Metrics registry (the same
+   one the trace sink uses when the run records a trace), so one
+   Prometheus dump covers control-plane and device metrics.  Per-tenant
+   and per-NIC stats stay as plain records: they are labelled series the
+   CSV/JSON exporters own. *)
 type t = {
   tenants : (int, tenant_stats) Hashtbl.t;
   nics : (int, nic_stats) Hashtbl.t;
-  mutable placement_failures : int;
-  mutable replacements : int;
-  mutable nic_kills : int;
-  mutable nf_kills : int;
-  mutable attest_ms : float;
-  mutable retries : int;
-  mutable quarantines : int;
-  mutable readmissions : int;
-  mutable watchdog_failovers : int;
-  mutable health_probes : int;
-  mutable probe_failures : int;
+  registry : Obs.Metrics.registry;
+  placement_failures : Obs.Metrics.counter;
+  replacements : Obs.Metrics.counter;
+  nic_kills : Obs.Metrics.counter;
+  nf_kills : Obs.Metrics.counter;
+  attest_ms : Obs.Metrics.histogram;
+  retries : Obs.Metrics.counter;
+  quarantines : Obs.Metrics.counter;
+  readmissions : Obs.Metrics.counter;
+  watchdog_failovers : Obs.Metrics.counter;
+  health_probes : Obs.Metrics.counter;
+  probe_failures : Obs.Metrics.counter;
 }
 
-let create () =
+let create ?registry () =
+  let reg = match registry with Some r -> r | None -> Obs.Metrics.create_registry () in
+  let c name help = Obs.Metrics.counter ~help reg name in
   {
     tenants = Hashtbl.create 64;
     nics = Hashtbl.create 16;
-    placement_failures = 0;
-    replacements = 0;
-    nic_kills = 0;
-    nf_kills = 0;
-    attest_ms = 0.;
-    retries = 0;
-    quarantines = 0;
-    readmissions = 0;
-    watchdog_failovers = 0;
-    health_probes = 0;
-    probe_failures = 0;
+    registry = reg;
+    placement_failures = c "fleet_placement_failures_total" "placements that exhausted every NIC";
+    replacements = c "fleet_replacements_total" "evicted tenants re-homed on another NIC";
+    nic_kills = c "fleet_nic_kills_total" "whole-NIC failures injected";
+    nf_kills = c "fleet_nf_kills_total" "single-NF failures injected";
+    attest_ms =
+      Obs.Metrics.histogram ~help:"modeled attestation latency per placement" reg "fleet_attest_ms";
+    retries = c "fleet_retries_total" "placement retries burned by the supervisor";
+    quarantines = c "fleet_quarantines_total" "circuit-breaker trips";
+    readmissions = c "fleet_readmissions_total" "NICs readmitted on probation";
+    watchdog_failovers = c "fleet_watchdog_failovers_total" "accelerator watchdog failovers";
+    health_probes = c "fleet_health_probes_total" "active health probes issued";
+    probe_failures = c "fleet_probe_failures_total" "active health probes that failed";
   }
+
+let registry t = t.registry
+let prometheus t = Obs.Metrics.prometheus t.registry
 
 let tenant t id =
   match Hashtbl.find_opt t.tenants id with
@@ -64,28 +77,28 @@ let nic t id =
     Hashtbl.replace t.nics id s;
     s
 
-let placement_failure t = t.placement_failures <- t.placement_failures + 1
-let replacement t = t.replacements <- t.replacements + 1
-let nic_kill t = t.nic_kills <- t.nic_kills + 1
-let nf_kill t = t.nf_kills <- t.nf_kills + 1
-let add_attest_ms t ms = t.attest_ms <- t.attest_ms +. ms
-let retry t = t.retries <- t.retries + 1
-let quarantine t = t.quarantines <- t.quarantines + 1
-let readmission t = t.readmissions <- t.readmissions + 1
-let watchdog_failover t = t.watchdog_failovers <- t.watchdog_failovers + 1
-let health_probe t = t.health_probes <- t.health_probes + 1
-let probe_failure t = t.probe_failures <- t.probe_failures + 1
-let placement_failures t = t.placement_failures
-let replacements t = t.replacements
-let nic_kills t = t.nic_kills
-let nf_kills t = t.nf_kills
-let attest_ms_total t = t.attest_ms
-let retries t = t.retries
-let quarantines t = t.quarantines
-let readmissions t = t.readmissions
-let watchdog_failovers t = t.watchdog_failovers
-let health_probes t = t.health_probes
-let probe_failures t = t.probe_failures
+let placement_failure t = Obs.Metrics.incr t.placement_failures
+let replacement t = Obs.Metrics.incr t.replacements
+let nic_kill t = Obs.Metrics.incr t.nic_kills
+let nf_kill t = Obs.Metrics.incr t.nf_kills
+let add_attest_ms t ms = Obs.Metrics.observe t.attest_ms ms
+let retry t = Obs.Metrics.incr t.retries
+let quarantine t = Obs.Metrics.incr t.quarantines
+let readmission t = Obs.Metrics.incr t.readmissions
+let watchdog_failover t = Obs.Metrics.incr t.watchdog_failovers
+let health_probe t = Obs.Metrics.incr t.health_probes
+let probe_failure t = Obs.Metrics.incr t.probe_failures
+let placement_failures t = Obs.Metrics.value t.placement_failures
+let replacements t = Obs.Metrics.value t.replacements
+let nic_kills t = Obs.Metrics.value t.nic_kills
+let nf_kills t = Obs.Metrics.value t.nf_kills
+let attest_ms_total t = Obs.Metrics.hist_sum t.attest_ms
+let retries t = Obs.Metrics.value t.retries
+let quarantines t = Obs.Metrics.value t.quarantines
+let readmissions t = Obs.Metrics.value t.readmissions
+let watchdog_failovers t = Obs.Metrics.value t.watchdog_failovers
+let health_probes t = Obs.Metrics.value t.health_probes
+let probe_failures t = Obs.Metrics.value t.probe_failures
 
 let sum_tenants t f = Hashtbl.fold (fun _ s acc -> acc + f s) t.tenants 0
 let total_attests t = sum_tenants t (fun s -> s.placements)
@@ -122,8 +135,8 @@ let to_json t =
        "  \"fleet\": {\"placement_failures\": %d, \"replacements\": %d, \"nic_kills\": %d, \"nf_kills\": %d, \
         \"attest_ms\": %.3f, \"retries\": %d, \"quarantines\": %d, \"readmissions\": %d, \
         \"watchdog_failovers\": %d, \"health_probes\": %d, \"probe_failures\": %d},\n"
-       t.placement_failures t.replacements t.nic_kills t.nf_kills t.attest_ms t.retries t.quarantines t.readmissions
-       t.watchdog_failovers t.health_probes t.probe_failures);
+       (placement_failures t) (replacements t) (nic_kills t) (nf_kills t) (attest_ms_total t) (retries t)
+       (quarantines t) (readmissions t) (watchdog_failovers t) (health_probes t) (probe_failures t));
   Buffer.add_string buf "  \"tenants\": [\n";
   let tenants = sorted_bindings t.tenants in
   List.iteri

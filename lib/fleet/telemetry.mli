@@ -4,7 +4,13 @@
     The orchestrator, front-end and failure injector all report here;
     nothing in this module touches the simulation, so exporting is pure
     and a seeded run always serializes to byte-identical output (the
-    determinism tests diff these exports). *)
+    determinism tests diff these exports).
+
+    Fleet-wide counters are backed by an {!Obs.Metrics} registry — pass
+    the trace sink's registry to {!create} and one {!prometheus} dump
+    covers control-plane counters and device counters alike.  Per-tenant
+    and per-NIC stats remain plain records serialized by the CSV/JSON
+    exporters. *)
 
 type tenant_stats = {
   mutable placements : int; (* successful nf_create+attest cycles *)
@@ -25,8 +31,21 @@ type nic_stats = {
 
 type t
 
-val create : unit -> t
+(** [create ?registry ()] — fleet-wide counters are registered in
+    [registry] (fresh one if omitted) under [fleet_*] names. *)
+val create : ?registry:Obs.Metrics.registry -> unit -> t
+
+(** The backing registry (shared with the trace sink when one was
+    passed to {!create}). *)
+val registry : t -> Obs.Metrics.registry
+
+(** Prometheus text dump of every metric in the backing registry. *)
+val prometheus : t -> string
+
+(** Per-tenant stats row, created on first touch. *)
 val tenant : t -> int -> tenant_stats
+
+(** Per-NIC stats row, created on first touch. *)
 val nic : t -> int -> nic_stats
 
 (** {2 Fleet-wide counters} *)

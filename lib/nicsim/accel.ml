@@ -17,6 +17,8 @@ type t = {
   clusters : cluster array;
   mutable faults : Faults.t option;
   mutable garbage_pending : bool;
+  mutable sink : Obs.sink;
+  mutable track_base : int;
 }
 
 (* A hung request "completes" one simulated second out — far past any
@@ -34,9 +36,24 @@ let create ~kind ~threads ~cluster_size =
           { tlb = Tlb.create ~capacity:128 (); owner = None; thread_free = Array.make cluster_size 0 });
     faults = None;
     garbage_pending = false;
+    sink = Obs.null;
+    track_base = 0;
   }
 
 let set_faults t f = t.faults <- Some f
+
+let set_sink t sink ~track_base =
+  t.sink <- sink;
+  t.track_base <- track_base;
+  Array.iteri
+    (fun ci c ->
+      Array.iteri
+        (fun ti _ ->
+          Obs.name_track sink
+            ~track:(track_base + (ci * Array.length c.thread_free) + ti)
+            (Printf.sprintf "%s c%d t%d" (kind_name t.kind) ci ti))
+        c.thread_free)
+    t.clusters
 
 let take_garbage t =
   let g = t.garbage_pending in
@@ -92,17 +109,32 @@ let faulted_cost t ~cost ~bytes =
       | None -> ());
       cost)
 
-let submit_cluster c ~cost ~now =
+(* Dispatch [cost] cycles onto thread [ti] of cluster [ci].  Retirement
+   is computed at dispatch (the model is deterministic), so the span and
+   both counters are emitted here; per-thread serialization through
+   [thread_free] keeps each track's spans non-overlapping. *)
+let dispatch t ~ci ~ti ~cost ~now =
+  let c = t.clusters.(ci) in
+  let start = max now c.thread_free.(ti) in
+  let finish = start + cost in
+  c.thread_free.(ti) <- finish;
+  Obs.count t.sink Obs.Accel_dispatch;
+  Obs.count t.sink Obs.Accel_retire;
+  let track = t.track_base + (ci * t.cluster_size) + ti in
+  Obs.span_begin t.sink ~ts:start ~track Obs.Accel "accel_op" ~arg:cost;
+  Obs.span_end t.sink ~ts:finish ~track Obs.Accel "accel_op" ~arg:cost;
+  finish
+
+let submit_cluster t ci ~cost ~now =
   (* Earliest-free thread of the cluster. *)
+  let c = t.clusters.(ci) in
   let best = ref 0 in
   Array.iteri (fun i free -> if free < c.thread_free.(!best) then best := i) c.thread_free;
-  let start = max now c.thread_free.(!best) in
-  c.thread_free.(!best) <- start + cost;
-  start + cost
+  dispatch t ~ci ~ti:!best ~cost ~now
 
 let submit t ~cluster ~now ~bytes =
   if cluster < 0 || cluster >= Array.length t.clusters then invalid_arg "Accel.submit: bad cluster";
-  submit_cluster t.clusters.(cluster) ~cost:(faulted_cost t ~cost:(service_cycles t ~bytes) ~bytes) ~now
+  submit_cluster t cluster ~cost:(faulted_cost t ~cost:(service_cycles t ~bytes) ~bytes) ~now
 
 let submit_any t ~now ~bytes =
   (* Commodity sharing: frontend scheduler picks the globally
@@ -115,9 +147,6 @@ let submit_any t ~now ~bytes =
         (fun ti free -> if free < t.clusters.(!best_c).thread_free.(!best_t) then begin best_c := ci; best_t := ti end)
         c.thread_free)
     t.clusters;
-  let c = t.clusters.(!best_c) in
-  let start = max now c.thread_free.(!best_t) in
-  c.thread_free.(!best_t) <- start + cost;
-  start + cost
+  dispatch t ~ci:!best_c ~ti:!best_t ~cost ~now
 
 let reset_timing t = Array.iter (fun c -> Array.fill c.thread_free 0 (Array.length c.thread_free) 0) t.clusters

@@ -12,6 +12,7 @@
 
 type kind = Dpi | Zip | Raid | Crypto
 
+(** Human-readable engine name ("DPI", "ZIP", ...). *)
 val kind_name : kind -> string
 
 (** Per-kind service constants (cycles, cycles/byte). *)
@@ -26,10 +27,24 @@ type t
     [threads]. *)
 val create : kind:kind -> threads:int -> cluster_size:int -> t
 
+(** The engine's kind. *)
 val kind : t -> kind
+
+(** Total hardware threads across all clusters. *)
 val threads : t -> int
+
+(** Threads per cluster. *)
 val cluster_size : t -> int
+
+(** Number of clusters. *)
 val cluster_count : t -> int
+
+(** [set_sink t sink ~track_base] traces every request as a span on its
+    thread's track ([track_base + cluster * cluster_size + thread]) from
+    dispatch to computed retirement, names each thread track, and bumps
+    dispatch/retire counters.  A hung request shows as a span stretching
+    past {!hang_horizon}. *)
+val set_sink : t -> Obs.sink -> track_base:int -> unit
 
 (** Arm a gray-failure plan: a submitted request may hang (cost inflated
     past {!hang_horizon}, wedging its thread until the cluster is
@@ -48,8 +63,14 @@ val take_garbage : t -> bool
 (** Ownership (S-NIC mode): clusters are claimed and released whole. *)
 val claim_cluster : t -> nf:int -> int option
 
+(** [release_clusters t ~nf] returns every cluster owned by [nf] to the
+    free pool with a fresh, unlocked TLB and zeroed thread clocks. *)
 val release_clusters : t -> nf:int -> unit
+
+(** Current owner of a cluster, if any. *)
 val cluster_owner : t -> cluster:int -> int option
+
+(** Number of unowned clusters. *)
 val free_clusters : t -> int
 
 (** Each cluster's TLB bank (configured by nf_launch, then locked). *)

@@ -8,6 +8,8 @@ type t = {
   client_busy_until : int array; (* per-slot-owner serialization for Temporal *)
   per_client : stats array;
   mutable faults : Faults.t option;
+  mutable sink : Obs.sink;
+  mutable track_base : int;
 }
 
 (* An injected wedge holds the requester's op this long past its normal
@@ -26,9 +28,15 @@ let create ~policy ~clients =
     client_busy_until = Array.make clients 0;
     per_client = Array.make clients { ops = 0; busy_cycles = 0; wait_cycles = 0 };
     faults = None;
+    sink = Obs.null;
+    track_base = 0;
   }
 
 let set_faults t f = t.faults <- Some f
+
+let set_sink t sink ~track_base =
+  t.sink <- sink;
+  t.track_base <- track_base
 
 let record t client ~now ~start ~cost =
   let s = t.per_client.(client) in
@@ -80,6 +88,15 @@ let request t ~client ~now ~cost =
        only its owner: temporal partitioning contains the gray failure. *)
     t.client_busy_until.(client) <- start + cost);
   record t client ~now ~start ~cost;
+  let track = t.track_base + client in
+  Obs.count t.sink Obs.Bus_grant;
+  if start > now then begin
+    Obs.count t.sink Obs.Bus_stall;
+    Obs.instant t.sink ~ts:now ~track Obs.Bus "bus_stall" ~arg:(start - now)
+  end;
+  Obs.span_begin t.sink ~ts:start ~track Obs.Bus "bus_op" ~arg:cost;
+  Obs.span_end t.sink ~ts:(start + cost) ~track Obs.Bus "bus_op" ~arg:cost;
+  Obs.observe t.sink "snic_bus_wait_cycles" (float_of_int (start - now));
   start + cost
 
 let stats t ~client = t.per_client.(client)

@@ -27,15 +27,28 @@ val set_faults : t -> Faults.t -> unit
 (** Extra completion delay of a wedged operation. *)
 val timeout_penalty : int
 
+(** [set_sink t sink ~track_base] traces every bus operation as a span on
+    track [track_base + client] (one track per client, so spans never
+    overlap within a track), emits stall instants when arbitration delays
+    an issue, and feeds the [snic_bus_wait_cycles] histogram. *)
+val set_sink : t -> Obs.sink -> track_base:int -> unit
+
 (** [request t ~client ~now ~cost] schedules a [cost]-cycle bus operation
     issued at time [now]; returns its completion time. For [Temporal],
     requires [cost <= epoch - dead]. *)
 val request : t -> client:int -> now:int -> cost:int -> int
 
+(** Per-client accounting: operations issued, cycles spent occupying the
+    bus, and cycles spent waiting for a grant. *)
 type stats = { ops : int; busy_cycles : int; wait_cycles : int }
 
+(** [stats t ~client] is the running tally for one client. *)
 val stats : t -> client:int -> stats
+
+(** The arbitration policy the bus was created with. *)
 val policy : t -> policy
+
+(** Number of client slots. *)
 val clients : t -> int
 
 (** Worst-case extra wait a well-behaved client can suffer from other

@@ -17,6 +17,8 @@ type t = {
   alloc : int array; (* ways per domain (Hard/Secdcp); prefix-summed into ranges *)
   mutable os_hits_mark : int; (* domain-0 stats at the last rebalance *)
   mutable os_misses_mark : int;
+  mutable sink : Obs.sink;
+  mutable track : int;
 }
 
 let create ~sets ~ways ~line_bits ~mode ~domains =
@@ -43,7 +45,13 @@ let create ~sets ~ways ~line_bits ~mode ~domains =
     alloc;
     os_hits_mark = 0;
     os_misses_mark = 0;
+    sink = Obs.null;
+    track = 0;
   }
+
+let set_sink t sink ~track =
+  t.sink <- sink;
+  t.track <- track
 
 let fill_ways t ~domain =
   match t.mode with
@@ -78,9 +86,12 @@ let access t ~domain ~addr =
   | Some l ->
     l.lru <- t.clock;
     bump t domain (fun s -> { s with hits = s.hits + 1 });
+    Obs.count t.sink Obs.Cache_hit;
     Hit
   | None ->
     bump t domain (fun s -> { s with misses = s.misses + 1 });
+    Obs.count t.sink Obs.Cache_miss;
+    Obs.count t.sink Obs.Cache_fill;
     (* Fill: evict LRU among the domain's fill ways. *)
     let lo, hi = fill_ways t ~domain in
     let victim = ref t.lines.(row + lo) in
@@ -90,8 +101,13 @@ let access t ~domain ~addr =
       else if l.valid && !victim.valid && l.lru < !victim.lru then victim := l
     done;
     let v = !victim in
-    if v.valid && v.owner >= 0 && v.owner <> domain then
+    if v.valid && v.owner >= 0 && v.owner <> domain then begin
       bump t v.owner (fun s -> { s with evicted_by_others = s.evicted_by_others + 1 });
+      (* Cross-domain evictions are the cache side channel — worth a
+         point event each, not just a count. *)
+      Obs.count t.sink Obs.Cache_evict;
+      Obs.instant t.sink ~ts:t.clock ~track:t.track Obs.Cache "cache_evict" ~arg:v.owner
+    end;
     v.tag <- tag;
     v.valid <- true;
     v.owner <- domain;

@@ -28,6 +28,11 @@ type t
     ways are split evenly across domains (requires [ways >= domains]). *)
 val create : sets:int -> ways:int -> line_bits:int -> mode:mode -> domains:int -> t
 
+(** [set_sink t sink ~track] directs hit/miss/fill counters and
+    cross-domain eviction events at [sink]; event timestamps are the
+    cache's own access clock. *)
+val set_sink : t -> Obs.sink -> track:int -> unit
+
 type result = Hit | Miss
 
 val access : t -> domain:int -> addr:int -> result

@@ -6,6 +6,8 @@ type t = {
   banks : bank array;
   mutable faults : Faults.t option;
   mutable stall_cycles : int;
+  mutable sink : Obs.sink;
+  mutable track_base : int;
 }
 
 let create ~nic_mem ~host_mem ~banks =
@@ -16,7 +18,13 @@ let create ~nic_mem ~host_mem ~banks =
     banks = Array.init banks (fun _ -> { up = Tlb.create ~capacity:8 (); down = Tlb.create ~capacity:8 () });
     faults = None;
     stall_cycles = 0;
+    sink = Obs.null;
+    track_base = 0;
   }
+
+let set_sink t sink ~track_base =
+  t.sink <- sink;
+  t.track_base <- track_base
 
 let banks t = Array.length t.banks
 let host_mem t = t.host_mem
@@ -56,9 +64,7 @@ let translate_range tlb ~vaddr ~len ~access =
     | Some _ | None -> ok := false);
     if !ok then Some p0 else None
 
-let transfer ~checked t ~bank ~direction ~nic_addr ~host_addr ~len =
-  if bank < 0 || bank >= Array.length t.banks then invalid_arg "Dma.transfer: bad bank";
-  if len <= 0 then invalid_arg "Dma.transfer: bad length";
+let transfer_unobserved ~checked t ~bank ~direction ~nic_addr ~host_addr ~len =
   let b = t.banks.(bank) in
   let resolve tlb vaddr ~access =
     if not checked then Ok vaddr
@@ -118,3 +124,26 @@ let transfer ~checked t ~bank ~direction ~nic_addr ~host_addr ~len =
       | To_nic -> Physmem.write_bytes t.nic_mem ~pos:nic_p data);
       Ok ())
   | Error e, _ | _, Error e -> Error e
+
+(* The DMA engine has no cycle clock, so the span timestamps are the
+   recorder's deterministic sequence numbers: ordering is faithful,
+   durations are not meaningful.  One track per bank keeps spans from
+   overlapping within a track. *)
+let transfer ~checked t ~bank ~direction ~nic_addr ~host_addr ~len =
+  if bank < 0 || bank >= Array.length t.banks then invalid_arg "Dma.transfer: bad bank";
+  if len <= 0 then invalid_arg "Dma.transfer: bad length";
+  let track = t.track_base + bank in
+  let name = match direction with To_host -> "dma_to_host" | To_nic -> "dma_to_nic" in
+  Obs.count t.sink Obs.Dma_start;
+  Obs.span_begin t.sink ~ts:(Obs.seq t.sink) ~track Obs.Dma name ~arg:len;
+  let result = transfer_unobserved ~checked t ~bank ~direction ~nic_addr ~host_addr ~len in
+  (match result with
+  | Ok () -> Obs.count t.sink Obs.Dma_complete
+  | Error (Violation _) ->
+    Obs.count t.sink Obs.Dma_fault;
+    Obs.instant t.sink ~ts:(Obs.seq t.sink) ~track Obs.Dma "dma_violation" ~arg:len
+  | Error (Fault _) ->
+    Obs.count t.sink Obs.Dma_fault;
+    Obs.instant t.sink ~ts:(Obs.seq t.sink) ~track Obs.Dma "dma_fault" ~arg:len);
+  Obs.span_end t.sink ~ts:(Obs.seq t.sink) ~track Obs.Dma name ~arg:len;
+  result

@@ -11,8 +11,17 @@ type t
 (** [create ~nic_mem ~host_mem ~banks]. *)
 val create : nic_mem:Physmem.t -> host_mem:Physmem.t -> banks:int -> t
 
+(** Number of DMA banks (one per programmable core). *)
 val banks : t -> int
+
+(** The host-side physical memory this controller transfers against. *)
 val host_mem : t -> Physmem.t
+
+(** [set_sink t sink ~track_base] traces each transfer as a span on track
+    [track_base + bank], with fault/violation instants and
+    start/complete/fault counters.  Timestamps are recorder sequence
+    numbers (the engine has no cycle clock). *)
+val set_sink : t -> Obs.sink -> track_base:int -> unit
 
 (** Per-bank TLBs. [up] translates NIC-side windows, [down] host-side
     windows. Configured by nf_launch, then locked. *)

@@ -43,6 +43,7 @@ type t = {
   pktio : Pktio.t;
   dma : Dma.t;
   mutable faults : Faults.t option;
+  mutable sink : Obs.sink;
 }
 
 let default_config ~mode =
@@ -97,6 +98,7 @@ let create config =
     pktio = Pktio.create mem alloc ~rx_buffer_bytes:config.rx_buffer_bytes ~tx_buffer_bytes:config.tx_buffer_bytes;
     dma = Dma.create ~nic_mem:mem ~host_mem ~banks:config.cores;
     faults = None;
+    sink = Obs.null;
   }
 
 (* One plan per machine: every device draws from the same seeded stream,
@@ -109,6 +111,46 @@ let set_faults t f =
   List.iter (fun a -> Accel.set_faults a f) t.config.accels
 
 let faults t = t.faults
+
+(* Fixed track map within one machine's process lane (see
+   OBSERVABILITY.md): 0 control plane, 1 L2, 2+core the core TLBs,
+   100+client the bus, 200+bank the DMA banks, 300+ai*64+thread the
+   accelerator threads, 900 the packet schedulers, 910 packet IO. *)
+let track_ctrl = 0
+let track_l2 = 1
+let track_core_tlb core = 2 + core
+let track_bus_base = 100
+let track_dma_base = 200
+let track_accel_base ai = 300 + (ai * 64)
+let track_sched = 900
+let track_pktio = 910
+
+(* Like [set_faults], one sink per machine: every device records into the
+   same stream, each on its own track. *)
+let set_sink t sink =
+  t.sink <- sink;
+  Cache.set_sink t.config.l2 sink ~track:track_l2;
+  Obs.name_track sink ~track:track_l2 "l2-cache";
+  Obs.name_track sink ~track:track_ctrl "ctrl";
+  Obs.name_track sink ~track:track_sched "sched";
+  Obs.name_track sink ~track:track_pktio "pktio";
+  Bus.set_sink t.config.bus sink ~track_base:track_bus_base;
+  for c = 0 to Bus.clients t.config.bus - 1 do
+    Obs.name_track sink ~track:(track_bus_base + c) (Printf.sprintf "bus-client%d" c)
+  done;
+  Dma.set_sink t.dma sink ~track_base:track_dma_base;
+  for b = 0 to Dma.banks t.dma - 1 do
+    Obs.name_track sink ~track:(track_dma_base + b) (Printf.sprintf "dma-bank%d" b)
+  done;
+  List.iteri (fun ai a -> Accel.set_sink a sink ~track_base:(track_accel_base ai)) t.config.accels;
+  Pktio.set_sink t.pktio sink ~track:track_pktio;
+  Array.iteri
+    (fun core tlb ->
+      Tlb.set_sink tlb sink ~track:(track_core_tlb core);
+      Obs.name_track sink ~track:(track_core_tlb core) (Printf.sprintf "core%d-tlb" core))
+    t.core_tlbs
+
+let sink t = t.sink
 
 let mode t = t.config.mode
 let mem t = t.mem
@@ -145,7 +187,10 @@ let unbind_cores t ~nf =
     (fun i o ->
       if o = Some nf then begin
         t.core_owners.(i) <- None;
-        t.core_tlbs.(i) <- Tlb.create ~capacity:512 ();
+        let tlb = Tlb.create ~capacity:512 () in
+        (* The fresh TLB keeps recording into the machine's sink. *)
+        Tlb.set_sink tlb t.sink ~track:(track_core_tlb i);
+        t.core_tlbs.(i) <- tlb;
         (* The core's DMA bank windows die with the binding. *)
         Dma.reset_bank t.dma ~bank:i
       end)

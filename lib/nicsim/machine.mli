@@ -56,6 +56,20 @@ val set_faults : t -> Faults.t -> unit
 
 val faults : t -> Faults.t option
 
+(** [set_sink t sink] points every device of this NIC (L2, bus, DMA,
+    accelerators, packet IO, core TLBs — including TLBs created later by
+    teardown paths) at one trace sink, each device on its own track, and
+    names the tracks.  The default is {!Obs.null}: instrumentation then
+    costs one branch per emit site.  Use [Obs.for_process sink ~pid]
+    before calling to give each NIC of a fleet its own process lane. *)
+val set_sink : t -> Obs.sink -> unit
+
+(** The machine's current sink ({!Obs.null} unless {!set_sink} ran). *)
+val sink : t -> Obs.sink
+
+(** Track number of the control-plane (API) span lane. *)
+val track_ctrl : int
+
 val mode : t -> mode
 val mem : t -> Physmem.t
 val cores : t -> int

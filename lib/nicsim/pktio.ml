@@ -22,6 +22,8 @@ type t = {
   mutable wire : Bytes.t list; (* reversed *)
   mutable drops : int;
   mutable faults : Faults.t option;
+  mutable sink : Obs.sink;
+  mutable track : int;
 }
 
 let create mem alloc ~rx_buffer_bytes ~tx_buffer_bytes =
@@ -36,9 +38,23 @@ let create mem alloc ~rx_buffer_bytes ~tx_buffer_bytes =
     wire = [];
     drops = 0;
     faults = None;
+    sink = Obs.null;
+    track = 0;
   }
 
 let set_faults t f = t.faults <- Some f
+
+let set_sink t sink ~track =
+  t.sink <- sink;
+  t.track <- track;
+  Hashtbl.iter (fun _ ring -> Sched.set_sink ring sink ~track) t.rings
+
+(* Every drop funnels through here so the counter and the trace instant
+   cannot drift apart. *)
+let drop t =
+  t.drops <- t.drops + 1;
+  Obs.count t.sink Obs.Pktio_drop;
+  Obs.instant t.sink ~ts:(Obs.seq t.sink) ~track:t.track Obs.Pktio "pktio_drop" ~arg:t.drops
 
 let add_rule t ~m ~nf = t.rules <- t.rules @ [ (m, nf) ]
 let remove_rules_for t ~nf = t.rules <- List.filter (fun (_, n) -> n <> nf) t.rules
@@ -54,7 +70,9 @@ let reserve ?(sched = Sched.Fifo) t ~nf ~rx_bytes ~tx_bytes =
   else if tx_bytes > tx_available t then Error "insufficient TX port buffer space"
   else begin
     Hashtbl.replace t.reservations nf { rx_bytes; tx_bytes };
-    Hashtbl.replace t.rings nf (Sched.create sched);
+    let ring = Sched.create sched in
+    Sched.set_sink ring t.sink ~track:t.track;
+    Hashtbl.replace t.rings nf ring;
     Ok ()
   end
 
@@ -100,29 +118,29 @@ let rx_fault t frame =
 let deliver t frame =
   match rx_fault t frame with
   | Error e ->
-    t.drops <- t.drops + 1;
+    drop t;
     Error e
   | Ok frame -> (
   match Net.Packet.parse ~verify_checksums:false frame with
   | Error e ->
-    t.drops <- t.drops + 1;
+    drop t;
     Error (Format.asprintf "unparseable frame: %a" Net.Packet.pp_parse_error e)
   | Ok pkt -> begin
     let vni = match Net.Vxlan.decapsulate pkt with Ok { vni; _ } -> Some vni | Error _ -> None in
     match List.find_opt (fun (m, _) -> rule_matches m pkt ~vni) t.rules with
     | None ->
-      t.drops <- t.drops + 1;
+      drop t;
       Error "no switching rule matches"
     | Some (_, nf) -> begin
       match Hashtbl.find_opt t.rings nf with
       | None ->
-        t.drops <- t.drops + 1;
+        drop t;
         Error "destination NF has no packet pipeline"
       | Some ring -> begin
         let len = Bytes.length frame in
         match Alloc.alloc t.alloc ~owner:(Physmem.Nf nf) len with
         | None ->
-          t.drops <- t.drops + 1;
+          drop t;
           Error "buffer pool exhausted"
         | Some addr ->
           Physmem.write_bytes t.mem ~pos:addr (Bytes.to_string frame);
@@ -138,6 +156,7 @@ let deliver t frame =
             }
           in
           Sched.enqueue ring meta (addr, len);
+          Obs.count t.sink Obs.Pktio_rx;
           Ok nf
       end
     end
@@ -157,10 +176,11 @@ let transmit t ~nf:_ ~addr ~len =
     | Some f ->
       Faults.fire f ~device:"pktio" Faults.Tx_drop ~detail:(Printf.sprintf "len=%d eaten at egress" len) <> None
   in
-  if dropped then t.drops <- t.drops + 1
+  if dropped then drop t
   else begin
     let frame = Physmem.read_bytes t.mem ~pos:addr ~len in
-    t.wire <- Bytes.of_string frame :: t.wire
+    t.wire <- Bytes.of_string frame :: t.wire;
+    Obs.count t.sink Obs.Pktio_tx
   end;
   Alloc.free t.alloc addr
 
@@ -176,7 +196,7 @@ let deliver_to t ~nf frame =
     let len = Bytes.length frame in
     match Alloc.alloc t.alloc ~owner:(Physmem.Nf nf) len with
     | None ->
-      t.drops <- t.drops + 1;
+      drop t;
       Error "buffer pool exhausted"
     | Some addr ->
       Physmem.write_bytes t.mem ~pos:addr (Bytes.to_string frame);
@@ -193,5 +213,6 @@ let deliver_to t ~nf frame =
         | Error _ -> { Sched.flow = 0; bytes = len; level = 1; weight = 1 }
       in
       Sched.enqueue ring meta (addr, len);
+      Obs.count t.sink Obs.Pktio_rx;
       Ok ()
   end

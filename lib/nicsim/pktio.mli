@@ -31,6 +31,11 @@ val create : Physmem.t -> Alloc.t -> rx_buffer_bytes:int -> tx_buffer_bytes:int 
     ports behave exactly as before. *)
 val set_faults : t -> Faults.t -> unit
 
+(** [set_sink t sink ~track] counts RX enqueues, TX completions and drops
+    (drops also get a point event), and forwards the sink to every
+    per-NF packet scheduler, current and future. *)
+val set_sink : t -> Obs.sink -> track:int -> unit
+
 (** [add_rule t ~m ~nf] directs matching packets to [nf]. Rules are
     consulted in insertion order. *)
 val add_rule : t -> m:rule_match -> nf:int -> unit

@@ -75,7 +75,17 @@ type 'a state =
   | Sprio of (meta * 'a) Queue.t array
   | Swfq of { heap : 'a Heap.t; finishes : (int, float) Hashtbl.t; mutable vnow : float }
 
-type 'a t = { policy : policy; mutable count : int; state : 'a state }
+type 'a t = {
+  policy : policy;
+  mutable count : int;
+  state : 'a state;
+  mutable sink : Obs.sink;
+  mutable track : int;
+}
+
+let set_sink t sink ~track =
+  t.sink <- sink;
+  t.track <- track
 
 let create policy =
   let state =
@@ -89,7 +99,7 @@ let create policy =
       Sprio (Array.init levels (fun _ -> Queue.create ()))
     | Wfq -> Swfq { heap = Heap.create (); finishes = Hashtbl.create 16; vnow = 0. }
   in
-  { policy; count = 0; state }
+  { policy; count = 0; state; sink = Obs.null; track = 0 }
 
 let policy t = t.policy
 let length t = t.count
@@ -166,8 +176,13 @@ let dequeue t =
               Some x
             end
             else begin
+              (* Quantum switch: the flow's deficit refills and service
+                 rotates to the next flow. *)
               Hashtbl.replace s.deficits flow (deficit + s.quantum);
               s.rotation <- rest @ [ flow ];
+              Obs.count t.sink Obs.Sched_switch;
+              Obs.instant t.sink ~ts:(Obs.seq t.sink) ~track:t.track Obs.Sched "drr_quantum"
+                ~arg:flow;
               go ()
             end
         end

@@ -26,7 +26,14 @@ type meta = {
 type 'a t
 
 val create : policy -> 'a t
+
+(** The discipline this scheduler was created with. *)
 val policy : 'a t -> policy
+
+(** [set_sink t sink ~track] emits a [drr_quantum] instant (and bumps the
+    quantum-switch counter) each time DRR refills a flow's deficit and
+    rotates service to the next flow.  Other disciplines emit nothing. *)
+val set_sink : 'a t -> Obs.sink -> track:int -> unit
 
 val enqueue : 'a t -> meta -> 'a -> unit
 

@@ -1,9 +1,20 @@
 type entry = { vbase : int; pbase : int; size : int; writable : bool }
 type access = Read | Write
 
-type t = { mutable entries : entry list; mutable locked : bool; capacity : int }
+type t = {
+  mutable entries : entry list;
+  mutable locked : bool;
+  capacity : int;
+  mutable sink : Obs.sink;
+  mutable track : int;
+}
 
-let create ?(capacity = 512) () = { entries = []; locked = false; capacity }
+let create ?(capacity = 512) () =
+  { entries = []; locked = false; capacity; sink = Obs.null; track = 0 }
+
+let set_sink t sink ~track =
+  t.sink <- sink;
+  t.track <- track
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
 
@@ -43,11 +54,30 @@ let map_region t ~vbase ~pbase ~len ~writable =
 let lock t = t.locked <- true
 let is_locked t = t.locked
 
+exception Missed
+
+(* Manual recursion instead of [List.find_opt] with a capturing closure:
+   the hit path must not allocate beyond the returned option so the null
+   sink keeps the hot path flat (asserted by test_obs). *)
+let rec lookup vaddr entries =
+  match entries with
+  | [] -> raise_notrace Missed
+  | e :: rest -> if vaddr >= e.vbase && vaddr < e.vbase + e.size then e else lookup vaddr rest
+
+let miss t vaddr =
+  Obs.count t.sink Obs.Tlb_miss;
+  Obs.instant t.sink ~ts:(Obs.seq t.sink) ~track:t.track Obs.Tlb "tlb_miss" ~arg:vaddr;
+  None
+
 let translate t ~vaddr ~access =
-  let hit e = vaddr >= e.vbase && vaddr < e.vbase + e.size in
-  match List.find_opt hit t.entries with
-  | Some e when access = Read || e.writable -> Some (e.pbase + (vaddr - e.vbase))
-  | Some _ | None -> None
+  match lookup vaddr t.entries with
+  | e ->
+    if access = Read || e.writable then begin
+      Obs.count t.sink Obs.Tlb_hit;
+      Some (e.pbase + (vaddr - e.vbase))
+    end
+    else miss t vaddr
+  | exception Missed -> miss t vaddr
 
 let entry_count t = List.length t.entries
 let capacity t = t.capacity

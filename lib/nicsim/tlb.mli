@@ -15,7 +15,14 @@ type entry = {
 
 type t
 
+(** [create ?capacity ()] is an empty, unlocked TLB holding at most
+    [capacity] entries (default 512). *)
 val create : ?capacity:int -> unit -> t
+
+(** [set_sink t sink ~track] directs this TLB's hit/miss counters and
+    miss events at [sink], on trace track [track].  Fresh TLBs start on
+    {!Obs.null}, which costs one branch per translate. *)
+val set_sink : t -> Obs.sink -> track:int -> unit
 
 (** [install t entry] adds a mapping. Raises [Invalid_argument] on
     misalignment, non-power-of-two size, overlap with an existing entry,
@@ -40,8 +47,13 @@ type access = Read | Write
     miss / write to a read-only entry. *)
 val translate : t -> vaddr:int -> access:access -> int option
 
+(** Number of entries currently installed. *)
 val entry_count : t -> int
+
+(** Maximum number of entries. *)
 val capacity : t -> int
+
+(** All installed entries, most recently installed first. *)
 val entries : t -> entry list
 
 (** Total virtual bytes mapped. *)

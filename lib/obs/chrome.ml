@@ -1,0 +1,58 @@
+(* Chrome trace_event JSON ("traceEvents" object flavour).  Everything is
+   emitted in a deterministic order — metadata sorted by (pid, tid),
+   events stable-sorted by ts — so a seeded run exports byte-identical
+   bytes, which the determinism tests diff directly. *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let phase_str = function
+  | Sink.Span_begin -> "B"
+  | Sink.Span_end -> "E"
+  | Sink.Instant -> "i"
+
+let event_row b first (ev : Sink.event) =
+  if not !first then Buffer.add_string b ",\n";
+  first := false;
+  let extra = match ev.Sink.phase with Sink.Instant -> {|,"s":"t"|} | _ -> "" in
+  Buffer.add_string b
+    (Printf.sprintf
+       {|{"name":"%s","cat":"%s","ph":"%s","ts":%d,"pid":%d,"tid":%d%s,"args":{"v":%d}}|}
+       (escape ev.Sink.name) (Sink.cat_name ev.Sink.cat) (phase_str ev.Sink.phase) ev.Sink.ts
+       ev.Sink.pid ev.Sink.track extra ev.Sink.arg)
+
+let meta_row b first ~name ~pid ~tid ~value =
+  if not !first then Buffer.add_string b ",\n";
+  first := false;
+  let tid_field = match tid with None -> "" | Some t -> Printf.sprintf {|,"tid":%d|} t in
+  Buffer.add_string b
+    (Printf.sprintf {|{"name":"%s","ph":"M","pid":%d%s,"args":{"name":"%s"}}|} name pid tid_field
+       (escape value))
+
+let to_json sink =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[\n";
+  let first = ref true in
+  List.iter
+    (fun (pid, name) -> meta_row b first ~name:"process_name" ~pid ~tid:None ~value:name)
+    (Sink.process_names sink);
+  List.iter
+    (fun ((pid, tid), name) -> meta_row b first ~name:"thread_name" ~pid ~tid:(Some tid) ~value:name)
+    (Sink.track_names sink);
+  let events = Sink.events sink in
+  let sorted = List.stable_sort (fun a b -> compare a.Sink.ts b.Sink.ts) events in
+  List.iter (fun ev -> event_row b first ev) sorted;
+  Buffer.add_string b "\n],\"displayTimeUnit\":\"ns\"}\n";
+  Buffer.contents b

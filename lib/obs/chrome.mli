@@ -1,0 +1,14 @@
+(** Chrome [trace_event] JSON exporter.
+
+    Produces the JSON-object flavour of the format,
+    [{"traceEvents": [...], "displayTimeUnit": "ns"}], loadable in
+    Perfetto ([ui.perfetto.dev]) and [chrome://tracing].  One [ts] unit
+    is one simulated cycle (or one sequence tick for clockless devices).
+    Output is a deterministic function of the recorded events: events are
+    sorted stably by timestamp (emission order breaks ties) and metadata
+    rows by pid/tid, so equal seeds export byte-identical traces. *)
+
+val to_json : Sink.sink -> string
+(** Render every recorded event (plus [process_name] / [thread_name]
+    metadata rows) as a Chrome trace_event JSON document.  The null sink
+    renders an empty trace. *)

@@ -1,0 +1,158 @@
+(* Counters and fixed-bucket histograms behind a name-keyed registry.
+   Registration is idempotent so independent subsystems (telemetry,
+   supervisor, device sinks) can share one registry without coordinating;
+   every export sorts by name so output is deterministic. *)
+
+type counter = { c_name : string; c_help : string; mutable count : int }
+
+type histogram = {
+  h_name : string;
+  h_help : string;
+  bounds : float array; (* strictly increasing finite upper bounds *)
+  buckets : int array; (* length = Array.length bounds + 1; last is +Inf *)
+  mutable sum : float;
+  mutable n : int;
+}
+
+type metric = C of counter | H of histogram
+
+type registry = { tbl : (string, metric) Hashtbl.t }
+
+let create_registry () = { tbl = Hashtbl.create 64 }
+
+let counter ?(help = "") reg name =
+  match Hashtbl.find_opt reg.tbl name with
+  | Some (C c) -> c
+  | Some (H _) -> invalid_arg ("Metrics.counter: " ^ name ^ " is registered as a histogram")
+  | None ->
+    let c = { c_name = name; c_help = help; count = 0 } in
+    Hashtbl.add reg.tbl name (C c);
+    c
+
+let incr c = c.count <- c.count + 1
+
+let add c n =
+  if n < 0 then invalid_arg ("Metrics.add: counter " ^ c.c_name ^ " is monotonic");
+  c.count <- c.count + n
+
+let value c = c.count
+
+let default_buckets = [| 0.25; 0.5; 1.; 2.5; 5.; 10.; 25.; 50.; 100.; 250.; 500.; 1000.; 2500.; 5000. |]
+
+let histogram ?(help = "") ?(buckets = default_buckets) reg name =
+  match Hashtbl.find_opt reg.tbl name with
+  | Some (H h) -> h
+  | Some (C _) -> invalid_arg ("Metrics.histogram: " ^ name ^ " is registered as a counter")
+  | None ->
+    let k = Array.length buckets in
+    for i = 1 to k - 1 do
+      if buckets.(i) <= buckets.(i - 1) then
+        invalid_arg ("Metrics.histogram: non-increasing buckets for " ^ name)
+    done;
+    if k = 0 then invalid_arg ("Metrics.histogram: empty bucket ladder for " ^ name);
+    let h =
+      {
+        h_name = name;
+        h_help = help;
+        bounds = Array.copy buckets;
+        buckets = Array.make (k + 1) 0;
+        sum = 0.;
+        n = 0;
+      }
+    in
+    Hashtbl.add reg.tbl name (H h);
+    h
+
+let observe h v =
+  h.sum <- h.sum +. v;
+  h.n <- h.n + 1;
+  let k = Array.length h.bounds in
+  let rec slot i = if i >= k then k else if v <= h.bounds.(i) then i else slot (i + 1) in
+  let i = slot 0 in
+  h.buckets.(i) <- h.buckets.(i) + 1
+
+let hist_count h = h.n
+let hist_sum h = h.sum
+
+let clamp01 q = if q < 0. then 0. else if q > 1. then 1. else q
+
+(* Prometheus-style estimate: walk the cumulative bucket counts to the
+   target rank, then interpolate linearly inside that bucket.  The first
+   bucket's lower edge is 0 and the overflow bucket clamps to the last
+   finite bound, exactly as promhistogram_quantile does. *)
+let quantile h q =
+  if h.n < 2 then None
+  else begin
+    let q = clamp01 q in
+    let target = q *. float_of_int h.n in
+    let k = Array.length h.bounds in
+    let rec walk i cum =
+      let cum' = cum + h.buckets.(i) in
+      if float_of_int cum' >= target || i = k then (i, cum, cum')
+      else walk (i + 1) cum'
+    in
+    let i, below, upto = walk 0 0 in
+    if i >= k then Some h.bounds.(k - 1)
+    else begin
+      let lower = if i = 0 then 0. else h.bounds.(i - 1) in
+      let upper = h.bounds.(i) in
+      let in_bucket = upto - below in
+      if in_bucket = 0 then Some upper
+      else
+        Some (lower +. ((upper -. lower) *. (target -. float_of_int below) /. float_of_int in_bucket))
+    end
+  end
+
+(* Exact sample quantile: linear interpolation at rank q*(n-1).  The one
+   convention shared by bench --json and the chaos report. *)
+let quantile_of_samples samples q =
+  let n = List.length samples in
+  if n < 2 then None
+  else begin
+    let a = Array.of_list samples in
+    Array.sort compare a;
+    let q = clamp01 q in
+    let rank = q *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let lo = if lo > n - 1 then n - 1 else lo in
+    let hi = if lo + 1 < n then lo + 1 else lo in
+    let frac = rank -. float_of_int lo in
+    Some (a.(lo) +. ((a.(hi) -. a.(lo)) *. frac))
+  end
+
+let sorted_metrics reg =
+  let all = Hashtbl.fold (fun name m acc -> (name, m) :: acc) reg.tbl [] in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) all
+
+let counters reg =
+  List.filter_map (function name, C c -> Some (name, c.count) | _, H _ -> None) (sorted_metrics reg)
+
+let float_str v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+let prometheus reg =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | C c ->
+        if c.c_help <> "" then Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name c.c_help);
+        Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" name);
+        Buffer.add_string b (Printf.sprintf "%s %d\n" name c.count)
+      | H h ->
+        if h.h_help <> "" then Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name h.h_help);
+        Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" name);
+        let cum = ref 0 in
+        Array.iteri
+          (fun i bound ->
+            cum := !cum + h.buckets.(i);
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name (float_str bound) !cum))
+          h.bounds;
+        Buffer.add_string b
+          (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name h.n);
+        Buffer.add_string b (Printf.sprintf "%s_sum %s\n" name (float_str h.sum));
+        Buffer.add_string b (Printf.sprintf "%s_count %d\n" name h.n))
+    (sorted_metrics reg);
+  Buffer.contents b

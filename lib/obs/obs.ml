@@ -1,0 +1,7 @@
+(* Root of the observability library: [Obs.sink] and the emit API come
+   from [Sink]; [Obs.Metrics] is the counter/histogram registry and
+   [Obs.Chrome] the trace_event exporter. *)
+
+module Metrics = Metrics
+module Chrome = Chrome
+include Sink

@@ -1,0 +1,205 @@
+(* The sink: a null variant whose emits cost one branch, and a recording
+   variant that appends typed events and bumps pre-registered counters.
+   Hot-path counters live in a flat array indexed by the stat tag so a
+   recording bump is an array increment, not a hash lookup. *)
+
+type cat = Tlb | Cache | Bus | Dma | Accel | Sched | Pktio | Ctrl | Fleet
+
+let cat_name = function
+  | Tlb -> "tlb"
+  | Cache -> "cache"
+  | Bus -> "bus"
+  | Dma -> "dma"
+  | Accel -> "accel"
+  | Sched -> "sched"
+  | Pktio -> "pktio"
+  | Ctrl -> "ctrl"
+  | Fleet -> "fleet"
+
+type phase = Span_begin | Span_end | Instant
+
+type event = {
+  ts : int;
+  pid : int;
+  track : int;
+  phase : phase;
+  cat : cat;
+  name : string;
+  arg : int;
+}
+
+type stat =
+  | Tlb_hit
+  | Tlb_miss
+  | Cache_hit
+  | Cache_miss
+  | Cache_evict
+  | Cache_fill
+  | Bus_grant
+  | Bus_stall
+  | Dma_start
+  | Dma_complete
+  | Dma_fault
+  | Accel_dispatch
+  | Accel_retire
+  | Sched_switch
+  | Pktio_rx
+  | Pktio_tx
+  | Pktio_drop
+
+let stat_index = function
+  | Tlb_hit -> 0
+  | Tlb_miss -> 1
+  | Cache_hit -> 2
+  | Cache_miss -> 3
+  | Cache_evict -> 4
+  | Cache_fill -> 5
+  | Bus_grant -> 6
+  | Bus_stall -> 7
+  | Dma_start -> 8
+  | Dma_complete -> 9
+  | Dma_fault -> 10
+  | Accel_dispatch -> 11
+  | Accel_retire -> 12
+  | Sched_switch -> 13
+  | Pktio_rx -> 14
+  | Pktio_tx -> 15
+  | Pktio_drop -> 16
+
+let n_stats = 17
+
+let stat_name = function
+  | Tlb_hit -> "snic_tlb_hit_total"
+  | Tlb_miss -> "snic_tlb_miss_total"
+  | Cache_hit -> "snic_cache_hit_total"
+  | Cache_miss -> "snic_cache_miss_total"
+  | Cache_evict -> "snic_cache_evict_total"
+  | Cache_fill -> "snic_cache_fill_total"
+  | Bus_grant -> "snic_bus_grant_total"
+  | Bus_stall -> "snic_bus_stall_total"
+  | Dma_start -> "snic_dma_start_total"
+  | Dma_complete -> "snic_dma_complete_total"
+  | Dma_fault -> "snic_dma_fault_total"
+  | Accel_dispatch -> "snic_accel_dispatch_total"
+  | Accel_retire -> "snic_accel_retire_total"
+  | Sched_switch -> "snic_sched_quantum_switch_total"
+  | Pktio_rx -> "snic_pktio_rx_total"
+  | Pktio_tx -> "snic_pktio_tx_total"
+  | Pktio_drop -> "snic_pktio_drop_total"
+
+let all_stats =
+  [
+    Tlb_hit; Tlb_miss; Cache_hit; Cache_miss; Cache_evict; Cache_fill; Bus_grant; Bus_stall;
+    Dma_start; Dma_complete; Dma_fault; Accel_dispatch; Accel_retire; Sched_switch; Pktio_rx;
+    Pktio_tx; Pktio_drop;
+  ]
+
+type recorder = {
+  mutable events : event list; (* newest first; reversed on export *)
+  mutable n_events : int;
+  mutable next_seq : int;
+  reg : Metrics.registry;
+  stats : Metrics.counter array; (* indexed by stat_index *)
+  spans_begun : Metrics.counter;
+  spans_ended : Metrics.counter;
+  instants : Metrics.counter;
+  tracks : (int * int, string) Hashtbl.t;
+  procs : (int, string) Hashtbl.t;
+}
+
+type sink = Null | Rec of { r : recorder; pid : int }
+
+let null = Null
+
+let create () =
+  let reg = Metrics.create_registry () in
+  let stats = Array.make n_stats (Metrics.counter reg (stat_name Tlb_hit)) in
+  List.iter (fun s -> stats.(stat_index s) <- Metrics.counter reg (stat_name s)) all_stats;
+  Rec
+    {
+      r =
+        {
+          events = [];
+          n_events = 0;
+          next_seq = 0;
+          reg;
+          stats;
+          spans_begun = Metrics.counter reg "obs_spans_begun_total";
+          spans_ended = Metrics.counter reg "obs_spans_ended_total";
+          instants = Metrics.counter reg "obs_instants_total";
+          tracks = Hashtbl.create 32;
+          procs = Hashtbl.create 8;
+        };
+      pid = 0;
+    }
+
+let is_null = function Null -> true | Rec _ -> false
+
+let for_process t ~pid = match t with Null -> Null | Rec { r; _ } -> Rec { r; pid }
+
+let pid = function Null -> 0 | Rec { pid; _ } -> pid
+
+let registry = function Null -> None | Rec { r; _ } -> Some r.reg
+
+let events = function Null -> [] | Rec { r; _ } -> List.rev r.events
+
+let seq = function
+  | Null -> 0
+  | Rec { r; _ } ->
+    let s = r.next_seq in
+    r.next_seq <- s + 1;
+    s
+
+let count t stat =
+  match t with Null -> () | Rec { r; _ } -> Metrics.incr r.stats.(stat_index stat)
+
+let count_n t stat n =
+  match t with Null -> () | Rec { r; _ } -> Metrics.add r.stats.(stat_index stat) n
+
+let push r ev =
+  r.events <- ev :: r.events;
+  r.n_events <- r.n_events + 1
+
+let span_begin t ~ts ~track cat name ~arg =
+  match t with
+  | Null -> ()
+  | Rec { r; pid } ->
+    Metrics.incr r.spans_begun;
+    push r { ts; pid; track; phase = Span_begin; cat; name; arg }
+
+let span_end t ~ts ~track cat name ~arg =
+  match t with
+  | Null -> ()
+  | Rec { r; pid } ->
+    Metrics.incr r.spans_ended;
+    push r { ts; pid; track; phase = Span_end; cat; name; arg }
+
+let instant t ~ts ~track cat name ~arg =
+  match t with
+  | Null -> ()
+  | Rec { r; pid } ->
+    Metrics.incr r.instants;
+    push r { ts; pid; track; phase = Instant; cat; name; arg }
+
+let observe t name v =
+  match t with Null -> () | Rec { r; _ } -> Metrics.observe (Metrics.histogram r.reg name) v
+
+let name_track t ~track name =
+  match t with Null -> () | Rec { r; pid } -> Hashtbl.replace r.tracks (pid, track) name
+
+let name_process t ~pid name =
+  match t with Null -> () | Rec { r; _ } -> Hashtbl.replace r.procs pid name
+
+let track_names = function
+  | Null -> []
+  | Rec { r; _ } ->
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) r.tracks []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let process_names = function
+  | Null -> []
+  | Rec { r; _ } ->
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) r.procs []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let span_count = function Null -> 0 | Rec { r; _ } -> Metrics.value r.spans_begun

@@ -22,4 +22,5 @@ let () =
       ("fleet", Test_fleet.suite);
       ("faults", Test_faults.suite);
       ("chaos", Test_chaos.suite);
+      ("obs", Test_obs.suite);
     ]
