@@ -19,6 +19,15 @@ let path_after flag =
 
 let json_path = path_after "--json"
 
+(* --only SECTION: run a single named section (today: "datapath") — the
+   CI bench-smoke job uses this to gate regressions without paying for
+   the full evaluation sweep. *)
+let only = path_after "--only"
+
+(* --seed N: seed for the datapath section's payloads, so its checksum
+   and count metrics are reproducible (CI pins --seed 42). *)
+let seed = match path_after "--seed" with Some s -> int_of_string s | None -> 42
+
 (* --metrics FILE: dump the seed-42 chaos run's shared Obs registry
    (device counters + fleet counters + latency histograms) as Prometheus
    text — the same registry `snic_cli trace --metrics` exports. *)
@@ -720,7 +729,259 @@ let fleet_section () =
   print_endline "(every placement goes through nf_create + the Appendix A attestation handshake;";
   print_endline " consolidating policies power few NICs, spread activates the most)"
 
-let () =
+(* ------------------------------------------------------------------ *)
+(* Datapath: bulk page-granular fast paths vs the per-byte baseline    *)
+(* ------------------------------------------------------------------ *)
+
+(* Deterministic digest of a payload (order-sensitive polynomial hash):
+   any byte the datapath loses, duplicates or reorders changes it. *)
+let checksum s =
+  let h = ref 0 in
+  String.iter (fun c -> h := ((!h * 131) + Char.code c) land 0x3FFF_FFFF) s;
+  float_of_int !h
+
+let datapath_section () =
+  header "Datapath: page-granular bulk fast paths vs the per-byte baseline";
+  let open Nicsim in
+  let mb = 1 lsl 20 in
+  let rng = Trace.Rng.create ~seed in
+  let payload = String.init mb (fun _ -> Char.chr (Trace.Rng.int rng 256)) in
+  let secs f =
+    let t0 = Sys.time () in
+    f ();
+    Float.max (Sys.time () -. t0) 1e-6
+  in
+  let m name v = metric ("datapath." ^ name) v in
+
+  (* -- Physmem: 1 MB write+read, bulk vs one hash lookup per byte -- *)
+  subheader "Physmem 1MB write+read";
+  let mem = Physmem.create ~size:(64 * mb) in
+  let perbyte_digest = ref 0. in
+  let r0 = Physmem.resolutions mem in
+  let perbyte_dt =
+    secs (fun () ->
+        for i = 0 to mb - 1 do
+          Physmem.write_u8 mem i (Char.code payload.[i])
+        done;
+        let b = Bytes.create mb in
+        for i = 0 to mb - 1 do
+          Bytes.set b i (Char.chr (Physmem.read_u8 mem i))
+        done;
+        perbyte_digest := checksum (Bytes.unsafe_to_string b))
+  in
+  let perbyte_res = Physmem.resolutions mem - r0 in
+  let bulk_digest = ref 0. in
+  let r1 = Physmem.resolutions mem in
+  let bulk_iters = 16 in
+  let bulk_dt =
+    secs (fun () ->
+        for _ = 1 to bulk_iters do
+          Physmem.write_bytes mem ~pos:(32 * mb) payload;
+          bulk_digest := checksum (Physmem.read_bytes mem ~pos:(32 * mb) ~len:mb)
+        done)
+  in
+  let bulk_res = (Physmem.resolutions mem - r1) / bulk_iters in
+  let perbyte_mb_s = 2. /. perbyte_dt in
+  let bulk_mb_s = 2. *. float_of_int bulk_iters /. bulk_dt in
+  Printf.printf "per-byte: %8.1f MB/s  (%d page resolutions)\n" perbyte_mb_s perbyte_res;
+  Printf.printf "bulk:     %8.1f MB/s  (%d page resolutions)  digests %s\n" bulk_mb_s bulk_res
+    (if !bulk_digest = !perbyte_digest then "agree" else "DISAGREE");
+  m "physmem.perbyte_resolutions" (float_of_int perbyte_res);
+  m "physmem.bulk_resolutions" (float_of_int bulk_res);
+  m "physmem.checksum" !bulk_digest;
+  m "physmem.digests_agree" (if !bulk_digest = !perbyte_digest then 1. else 0.);
+  m "physmem.perbyte_mb_s" perbyte_mb_s;
+  m "physmem.bulk_mb_s" bulk_mb_s;
+
+  (* -- DMA: 1 MB NIC->host, the engine's bulk staging buffer vs an
+        emulated per-byte engine (what the transfer cost before the bulk
+        rewrite: one nic read + one host write hash lookup per byte) -- *)
+  subheader "DMA 1MB NIC->host";
+  let nic_mem = Physmem.create ~size:(16 * mb) in
+  let host_mem = Physmem.create ~size:(16 * mb) in
+  let dma = Dma.create ~nic_mem ~host_mem ~banks:1 in
+  Physmem.write_bytes nic_mem ~pos:0 payload;
+  let dma_r0 = Physmem.resolutions nic_mem + Physmem.resolutions host_mem in
+  (match Dma.transfer ~checked:false dma ~bank:0 ~direction:Dma.To_host ~nic_addr:0 ~host_addr:0 ~len:mb with
+  | Ok () -> ()
+  | Error e -> failwith (Dma.error_to_string e));
+  let dma_res = Physmem.resolutions nic_mem + Physmem.resolutions host_mem - dma_r0 in
+  let dma_iters = 16 in
+  let dma_bulk_dt =
+    secs (fun () ->
+        for _ = 1 to dma_iters do
+          ignore (Dma.transfer ~checked:false dma ~bank:0 ~direction:Dma.To_host ~nic_addr:0 ~host_addr:0 ~len:mb)
+        done)
+  in
+  let dma_perbyte_dt =
+    secs (fun () ->
+        for i = 0 to mb - 1 do
+          Physmem.write_u8 host_mem (2 * mb + i) (Physmem.read_u8 nic_mem i)
+        done)
+  in
+  let dma_bulk_mb_s = float_of_int dma_iters /. dma_bulk_dt in
+  let dma_perbyte_mb_s = 1. /. dma_perbyte_dt in
+  let speedup = dma_bulk_mb_s /. dma_perbyte_mb_s in
+  let dma_digest = checksum (Physmem.read_bytes host_mem ~pos:0 ~len:mb) in
+  Printf.printf "per-byte engine: %8.1f MB/s\n" dma_perbyte_mb_s;
+  Printf.printf "bulk engine:     %8.1f MB/s  (%d page resolutions/transfer)  speedup %.1fx\n" dma_bulk_mb_s
+    dma_res speedup;
+  m "dma.resolutions_per_transfer" (float_of_int dma_res);
+  m "dma.checksum" dma_digest;
+  m "dma.perbyte_mb_s" dma_perbyte_mb_s;
+  m "dma.bulk_mb_s" dma_bulk_mb_s;
+  m "dma.speedup_x" speedup;
+
+  (* -- Packet IO: deliver -> rx_pop -> transmit round trips -- *)
+  subheader "Pktio deliver/rx_pop/transmit";
+  let pmem = Physmem.create ~size:(16 * mb) in
+  let alloc = Alloc.init pmem ~base:0x10000 ~heap_base:(8 * mb) ~heap_size:(8 * mb) ~max_entries:4096 in
+  let pktio = Pktio.create pmem alloc ~rx_buffer_bytes:(2 * mb) ~tx_buffer_bytes:(2 * mb) in
+  (match Pktio.reserve pktio ~nf:1 ~rx_bytes:mb ~tx_bytes:mb with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  Pktio.add_rule pktio ~m:Pktio.match_any ~nf:1;
+  let ip = Net.Ipv4_addr.of_string in
+  let frame =
+    Net.Packet.serialize
+      (Net.Packet.make ~src_ip:(ip "10.1.0.1") ~dst_ip:(ip "10.2.0.2") ~proto:Net.Packet.Udp ~src_port:4000
+         ~dst_port:4001
+         (String.sub payload 0 1024))
+  in
+  let rounds = 2000 in
+  let forwarded = ref 0 in
+  let pktio_dt =
+    secs (fun () ->
+        for _ = 1 to rounds do
+          (match Pktio.deliver pktio frame with
+          | Ok _ -> ()
+          | Error e -> failwith ("pktio deliver: " ^ e));
+          match Pktio.rx_pop pktio ~nf:1 with
+          | None -> failwith "pktio: delivered frame did not arrive"
+          | Some (addr, len) ->
+            Pktio.transmit pktio ~nf:1 ~addr ~len;
+            incr forwarded
+        done)
+  in
+  let wire = Pktio.wire_out pktio in
+  let wire_digest = checksum (Bytes.unsafe_to_string (List.nth wire (List.length wire - 1))) in
+  let pps = float_of_int rounds /. pktio_dt in
+  Printf.printf "%d frames of %dB round-tripped: %8.0f pps, %d drops\n" !forwarded (Bytes.length frame) pps
+    (Pktio.drop_count pktio);
+  m "pktio.forwarded" (float_of_int !forwarded);
+  m "pktio.drops" (float_of_int (Pktio.drop_count pktio));
+  m "pktio.wire_checksum" wire_digest;
+  m "pktio.pps" pps;
+
+  (* -- Accelerator streaming through a locked cluster TLB bank -- *)
+  subheader "Accel ZIP stream (256KB through the cluster TLB)";
+  let amem = Physmem.create ~size:(16 * mb) in
+  let zip = Accel.create ~kind:Accel.Zip ~threads:16 ~cluster_size:16 in
+  let cluster = Option.get (Accel.claim_cluster zip ~nf:1) in
+  let tlb = Accel.cluster_tlb zip ~cluster in
+  ignore (Tlb.map_region tlb ~vbase:0 ~pbase:0 ~len:(8 * mb) ~writable:true);
+  Tlb.lock tlb;
+  let zdata = String.concat "" (List.init 12_800 (fun i -> Printf.sprintf "row %06d value=%02x;" i (i land 0xff))) in
+  Physmem.write_bytes amem ~pos:0 zdata;
+  let written = ref 0 and done_at = ref 0 in
+  let ziters = 8 in
+  let zdt =
+    secs (fun () ->
+        for _ = 1 to ziters do
+          Accel.reset_timing zip;
+          match
+            Accel.stream zip ~cluster ~now:0 ~mem:amem ~src:0 ~src_len:(String.length zdata) ~dst:(4 * mb)
+              ~f:Accelfn.Lz77.compress
+          with
+          | Ok (w, d) ->
+            written := w;
+            done_at := d
+          | Error e -> failwith (Accel.stream_error_to_string e)
+        done)
+  in
+  let zmb_s = float_of_int (ziters * String.length zdata) /. 1048576. /. zdt in
+  let zdigest = checksum (Physmem.read_bytes amem ~pos:(4 * mb) ~len:!written) in
+  Printf.printf "%dB in -> %dB out, %d model cycles, %8.1f MB/s host-side\n" (String.length zdata) !written
+    !done_at zmb_s;
+  m "accel.stream_in_bytes" (float_of_int (String.length zdata));
+  m "accel.stream_out_bytes" (float_of_int !written);
+  m "accel.stream_cycles" (float_of_int !done_at);
+  m "accel.stream_checksum" zdigest;
+  m "accel.stream_mb_s" zmb_s
+
+(* ------------------------------------------------------------------ *)
+(* --check BASELINE: the regression gate                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Parse the flat { "key": float, ... } format [write_metrics] emits —
+   a ~20-line scanner so the gate needs no JSON library in CI. *)
+let parse_flat_json path =
+  let ic = open_in path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let len = String.length s in
+  let pairs = ref [] in
+  let i = ref 0 in
+  while !i < len do
+    if s.[!i] = '"' then begin
+      let j = String.index_from s (!i + 1) '"' in
+      let key = String.sub s (!i + 1) (j - !i - 1) in
+      let k = ref (j + 1) in
+      while !k < len && (s.[!k] = ':' || s.[!k] = ' ') do
+        incr k
+      done;
+      let e = ref !k in
+      while
+        !e < len && (match s.[!e] with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false)
+      do
+        incr e
+      done;
+      if !e > !k then pairs := (key, float_of_string (String.sub s !k (!e - !k))) :: !pairs;
+      i := max (!e) (j + 1)
+    end
+    else incr i
+  done;
+  List.rev !pairs
+
+(* Every key in the committed baseline must be present in this run and
+   within 25% of its baseline value; on top of that, the DMA bulk path
+   must beat the per-byte engine by at least 10x in absolute terms. *)
+let check_tolerance = 0.25
+let dma_speedup_floor = 10.
+
+let run_check () =
+  match path_after "--check" with
+  | None -> ()
+  | Some path ->
+    let baseline = parse_flat_json path in
+    let current = List.rev !metrics in
+    let failures = ref [] in
+    let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+    List.iter
+      (fun (key, expect) ->
+        match List.assoc_opt key current with
+        | None -> fail "%s: present in baseline but missing from this run" key
+        | Some got ->
+          let rel = Float.abs (got -. expect) /. Float.max (Float.abs expect) 1e-9 in
+          if rel > check_tolerance then
+            fail "%s: %.6f vs baseline %.6f (%.1f%% off, tolerance %.0f%%)" key got expect (100. *. rel)
+              (100. *. check_tolerance))
+      baseline;
+    (match List.assoc_opt "datapath.dma.speedup_x" current with
+    | Some s when s < dma_speedup_floor ->
+      fail "datapath.dma.speedup_x: %.1fx is below the %.0fx floor" s dma_speedup_floor
+    | Some _ -> ()
+    | None -> fail "datapath.dma.speedup_x: missing from this run");
+    if !failures = [] then
+      Printf.printf "\nbench --check: %d baseline metrics within %.0f%%, DMA speedup floor met\n"
+        (List.length baseline) (100. *. check_tolerance)
+    else begin
+      Printf.printf "\nbench --check FAILED against %s:\n" path;
+      List.iter (fun f -> Printf.printf "  %s\n" f) (List.rev !failures);
+      exit 1
+    end
+
+let main () =
   print_endline "S-NIC evaluation reproduction (EuroSys'24) — all tables and figures";
   if fast then print_endline "[--fast: reduced Figure 5 sweeps]";
   table1 ();
@@ -750,6 +1011,20 @@ let () =
   ablation_translation ();
   fleet_section ();
   chaos_section ();
+  datapath_section ();
   microbenches ();
   write_metrics ();
+  run_check ();
   print_endline "\nAll experiments complete. See EXPERIMENTS.md for paper-vs-measured notes."
+
+let () =
+  match only with
+  | Some "datapath" ->
+    print_endline "S-NIC datapath bench (bulk fast paths vs per-byte baseline)";
+    datapath_section ();
+    write_metrics ();
+    run_check ()
+  | Some other ->
+    Printf.eprintf "unknown --only section: %s (known: datapath)\n" other;
+    exit 2
+  | None -> main ()

@@ -10,6 +10,7 @@
      snic_cli timeline                — Figure 7 series as CSV
      snic_cli fleet [--nics N ...]    — seeded multi-NIC fleet scenario
      snic_cli chaos [--intensity X ...] — gray-failure storm + self-healing
+     snic_cli datapath [--bytes N]    — bulk vs per-byte Physmem probe
      snic_cli trace chaos --out t.json — record a Chrome trace of a scenario *)
 
 open Cmdliner
@@ -327,6 +328,60 @@ let chaos_cmd =
       const run $ seed_arg $ nics $ tenants $ policy $ rounds $ packets $ intensity $ stride $ flips $ kill_nics
       $ kill_nfs $ log $ json $ metrics_arg)
 
+let datapath_cmd =
+  let bytes = Arg.(value & opt int (1 lsl 20) & info [ "bytes" ] ~docv:"N" ~doc:"Transfer size in bytes") in
+  let run bytes seed =
+    if bytes <= 0 then begin
+      prerr_endline "datapath: --bytes must be positive";
+      exit 2
+    end;
+    let open Nicsim in
+    let seed = Option.value seed ~default:42 in
+    let rng = Trace.Rng.create ~seed in
+    let payload = String.init bytes (fun _ -> Char.chr (Trace.Rng.int rng 256)) in
+    let size =
+      let page = Physmem.page_size in
+      (* Two disjoint page-aligned regions, whatever the transfer size. *)
+      (((2 * bytes) + page - 1) / page * page) + (2 * page)
+    in
+    let mem = Physmem.create ~size in
+    let time f =
+      let t0 = Sys.time () in
+      f ();
+      Float.max (Sys.time () -. t0) 1e-6
+    in
+    let r0 = Physmem.resolutions mem in
+    let per_dt =
+      time (fun () ->
+          for i = 0 to bytes - 1 do
+            Physmem.write_u8 mem i (Char.code payload.[i])
+          done;
+          for i = 0 to bytes - 1 do
+            ignore (Physmem.read_u8 mem i)
+          done)
+    in
+    let per_res = Physmem.resolutions mem - r0 in
+    let dst = size / 2 in
+    let r1 = Physmem.resolutions mem in
+    let ok = ref false in
+    let bulk_dt =
+      time (fun () ->
+          Physmem.write_bytes mem ~pos:dst payload;
+          ok := String.equal (Physmem.read_bytes mem ~pos:dst ~len:bytes) payload)
+    in
+    let bulk_res = Physmem.resolutions mem - r1 in
+    let mbs dt = float_of_int bytes *. 2. /. 1048576. /. dt in
+    Printf.printf "%d bytes (seed %d)\n" bytes seed;
+    Printf.printf "per-byte: %10.1f MB/s  %9d page resolutions\n" (mbs per_dt) per_res;
+    Printf.printf "bulk:     %10.1f MB/s  %9d page resolutions  roundtrip %s\n" (mbs bulk_dt) bulk_res
+      (if !ok then "ok" else "CORRUPT");
+    if not !ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "datapath"
+       ~doc:"Quick probe of the bulk Physmem fast path vs the per-byte baseline (see bench --only datapath)")
+    Term.(const run $ bytes $ seed_arg)
+
 let trace_cmd =
   let scenario =
     Arg.(value & pos 0 (enum [ ("chaos", `Chaos); ("fleet", `Fleet) ]) `Chaos
@@ -395,5 +450,5 @@ let () =
        (Cmd.group info
           [
             attacks_cmd; dos_cmd; covert_cmd; probe_cmd; tco_cmd; overhead_cmd; tlb_cmd; pack_cmd; table6_cmd;
-            ipc_cmd; dpi_cmd; fig5_cmd; fig8_cmd; timeline_cmd; fleet_cmd; chaos_cmd; trace_cmd;
+            ipc_cmd; dpi_cmd; fig5_cmd; fig8_cmd; timeline_cmd; fleet_cmd; chaos_cmd; datapath_cmd; trace_cmd;
           ]))

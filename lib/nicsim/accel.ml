@@ -150,3 +150,55 @@ let submit_any t ~now ~bytes =
   dispatch t ~ci:!best_c ~ti:!best_t ~cost ~now
 
 let reset_timing t = Array.iter (fun c -> Array.fill c.thread_free 0 (Array.length c.thread_free) 0) t.clusters
+
+type stream_error = Stream_fault of { vaddr : int; write : bool }
+
+let stream_error_to_string = function
+  | Stream_fault { vaddr; write } ->
+    Printf.sprintf "accelerator TLB fault on %s at vaddr %#x" (if write then "write" else "read") vaddr
+
+(* Streaming I/O through the cluster's TLB bank: one [translate_run] per
+   mapped run and one page resolution per 4 KB chunk (the bulk datapath),
+   instead of a translation plus a hash lookup per byte. The engine's
+   confinement is exactly the TLB bank nf_launch configured and locked:
+   any byte outside it faults at its precise virtual address. *)
+let stream t ~cluster ~now ~mem ~src ~src_len ~dst ~f =
+  if cluster < 0 || cluster >= Array.length t.clusters then invalid_arg "Accel.stream: bad cluster";
+  if src_len < 0 then invalid_arg "Accel.stream: bad length";
+  let tlb = t.clusters.(cluster).tlb in
+  (* Move [len] bytes between vaddr space and [buf] chunk by chunk;
+     [copy paddr ~off ~n] does the actual blit for one mapped run. *)
+  let move ~vaddr ~len ~access ~copy =
+    let rec go off =
+      if off >= len then Ok ()
+      else begin
+        match Tlb.translate_run tlb ~vaddr:(vaddr + off) ~len:(len - off) ~access with
+        | None -> Error (Stream_fault { vaddr = vaddr + off; write = access = Tlb.Write })
+        | Some (paddr, n) ->
+          copy paddr ~off ~n;
+          go (off + n)
+      end
+    in
+    go 0
+  in
+  let inbuf = Bytes.create src_len in
+  match
+    move ~vaddr:src ~len:src_len ~access:Tlb.Read ~copy:(fun paddr ~off ~n ->
+        Physmem.blit_to_bytes mem ~pos:paddr inbuf ~off ~len:n)
+  with
+  | Error e -> Error e
+  | Ok () -> begin
+    let out = f (Bytes.unsafe_to_string inbuf) in
+    let outbuf = Bytes.unsafe_of_string out in
+    let out_len = Bytes.length outbuf in
+    match
+      move ~vaddr:dst ~len:out_len ~access:Tlb.Write ~copy:(fun paddr ~off ~n ->
+          Physmem.blit_from_bytes mem ~pos:paddr outbuf ~off ~len:n)
+    with
+    | Error e -> Error e
+    | Ok () ->
+      (* Service cost scales with the streamed input; hang/garbage faults
+         apply exactly as for [submit]. *)
+      let done_at = submit_cluster t cluster ~cost:(faulted_cost t ~cost:(service_cycles t ~bytes:src_len) ~bytes:src_len) ~now in
+      Ok (out_len, done_at)
+  end

@@ -85,3 +85,28 @@ val submit_any : t -> now:int -> bytes:int -> int
 
 (** Reset all thread clocks (between experiments). *)
 val reset_timing : t -> unit
+
+(** A streaming access that fell outside the cluster's locked TLB bank;
+    [vaddr] is the first faulting virtual address. *)
+type stream_error = Stream_fault of { vaddr : int; write : bool }
+
+val stream_error_to_string : stream_error -> string
+
+(** [stream t ~cluster ~now ~mem ~src ~src_len ~dst ~f] streams [src_len]
+    bytes from virtual address [src] through the cluster's TLB bank, maps
+    them with [f], and writes the result at virtual address [dst] — all on
+    the bulk datapath (one translation per mapped run, one page resolution
+    per 4 KB). Returns [(bytes_written, completion_time)]; service cost is
+    charged on the input size via the cluster's earliest-free thread.
+    Injected hang/garbage faults apply as for {!submit} — callers should
+    consult {!take_garbage}. *)
+val stream :
+  t ->
+  cluster:int ->
+  now:int ->
+  mem:Physmem.t ->
+  src:int ->
+  src_len:int ->
+  dst:int ->
+  f:(string -> string) ->
+  (int * int, stream_error) result

@@ -270,38 +270,73 @@ let store_u8 t principal addressing v =
   let* paddr = resolve t principal addressing ~write:true in
   Ok (Physmem.write_u8 t.mem paddr v)
 
+let advance addressing off = match addressing with Phys p -> Phys (p + off) | Virt { core; vaddr } -> Virt { core; vaddr = vaddr + off }
+
 let load_u64 t principal addressing =
   let* paddr = resolve t principal addressing ~write:false in
-  let* _ = resolve t principal (match addressing with Phys p -> Phys (p + 7) | Virt { core; vaddr } -> Virt { core; vaddr = vaddr + 7 }) ~write:false in
+  let* _ = resolve t principal (advance addressing 7) ~write:false in
   Ok (Physmem.read_u64 t.mem paddr)
 
 let store_u64 t principal addressing v =
   let* paddr = resolve t principal addressing ~write:true in
-  let* _ = resolve t principal (match addressing with Phys p -> Phys (p + 7) | Virt { core; vaddr } -> Virt { core; vaddr = vaddr + 7 }) ~write:true in
+  let* _ = resolve t principal (advance addressing 7) ~write:true in
   Ok (Physmem.write_u64 t.mem paddr v)
 
-let advance addressing off = match addressing with Phys p -> Phys (p + off) | Virt { core; vaddr } -> Virt { core; vaddr = vaddr + off }
+(* Bulk path: every policy in [check_phys] is a function of the 4 KB
+   frame alone (ownership, the denylist and the secure set are all
+   page-granular), so checking one byte per page is exactly equivalent
+   to checking every byte; and a TLB entry maps a contiguous window, so
+   one [translate_run] per entry is exactly equivalent to per-byte
+   translation, faulting at the same first unmapped/denied address.
+   [f paddr ~off ~n] consumes each checked page-bounded chunk. *)
+let fold_chunks t principal addressing ~len ~write ~f =
+  let page_mask = Physmem.page_size - 1 in
+  (* Walk [n] bytes of a physically contiguous run, one chunk per page. *)
+  let rec pages ~via_tlb paddr ~off n =
+    if n <= 0 then Ok ()
+    else begin
+      match check_phys t principal paddr ~via_tlb with
+      | Error e -> Error e
+      | Ok _ ->
+        let chunk = min n (Physmem.page_size - (paddr land page_mask)) in
+        f paddr ~off ~n:chunk;
+        pages ~via_tlb (paddr + chunk) ~off:(off + chunk) (n - chunk)
+    end
+  in
+  match addressing with
+  | Phys paddr -> pages ~via_tlb:false paddr ~off:0 len
+  | Virt { core; vaddr } ->
+    (match principal with
+    | Nf_code id when t.core_owners.(core) <> Some id ->
+      invalid_arg (Printf.sprintf "Machine: NF %d is not bound to core %d" id core)
+    | _ -> ());
+    let access = if write then Tlb.Write else Tlb.Read in
+    let rec runs off =
+      if off >= len then Ok ()
+      else begin
+        match Tlb.translate_run t.core_tlbs.(core) ~vaddr:(vaddr + off) ~len:(len - off) ~access with
+        | None -> Error (Tlb_fault (vaddr + off))
+        | Some (paddr, n) ->
+          let* () = pages ~via_tlb:true paddr ~off n in
+          runs (off + n)
+      end
+    in
+    runs 0
 
 let load_bytes t principal addressing ~len =
   if len < 0 then invalid_arg "Machine.load_bytes";
   let buf = Bytes.create len in
-  let rec go i =
-    if i >= len then Ok (Bytes.to_string buf)
-    else begin
-      let* v = load_u8 t principal (advance addressing i) in
-      Bytes.set buf i (Char.chr v);
-      go (i + 1)
-    end
+  let* () =
+    fold_chunks t principal addressing ~len ~write:false ~f:(fun paddr ~off ~n ->
+        Physmem.blit_to_bytes t.mem ~pos:paddr buf ~off ~len:n)
   in
-  go 0
+  Ok (Bytes.unsafe_to_string buf)
 
 let store_bytes t principal addressing s =
-  let len = String.length s in
-  let rec go i =
-    if i >= len then Ok ()
-    else begin
-      let* () = store_u8 t principal (advance addressing i) (Char.code s.[i]) in
-      go (i + 1)
-    end
-  in
-  go 0
+  let buf = Bytes.unsafe_of_string s in
+  (* Each page is checked immediately before its chunk is copied, so a
+     denied page aborts with every prior page already written — the same
+     partial-write frontier as the legacy per-byte loop, whose first
+     faulting byte is always a page boundary. *)
+  fold_chunks t principal addressing ~len:(String.length s) ~write:true ~f:(fun paddr ~off ~n ->
+      Physmem.blit_from_bytes t.mem ~pos:paddr buf ~off ~len:n)

@@ -47,6 +47,8 @@ let set_faults t f = t.faults <- Some f
 let set_sink t sink ~track =
   t.sink <- sink;
   t.track <- track;
+  (* Hash-order iteration is fine here: redirecting every ring's sink is
+     idempotent and order-insensitive — no artifact records the order. *)
   Hashtbl.iter (fun _ ring -> Sched.set_sink ring sink ~track) t.rings
 
 (* Every drop funnels through here so the counter and the trace instant
@@ -59,6 +61,8 @@ let drop t =
 let add_rule t ~m ~nf = t.rules <- t.rules @ [ (m, nf) ]
 let remove_rules_for t ~nf = t.rules <- List.filter (fun (_, n) -> n <> nf) t.rules
 
+(* These folds are pure sums over int fields: addition commutes, so
+   [Hashtbl.fold]'s hash-order visit cannot change the result. *)
 let reserved_rx t = Hashtbl.fold (fun _ r acc -> acc + r.rx_bytes) t.reservations 0
 let reserved_tx t = Hashtbl.fold (fun _ r acc -> acc + r.tx_bytes) t.reservations 0
 let rx_available t = t.rx_capacity - reserved_rx t
@@ -143,7 +147,9 @@ let deliver t frame =
           drop t;
           Error "buffer pool exhausted"
         | Some addr ->
-          Physmem.write_bytes t.mem ~pos:addr (Bytes.to_string frame);
+          (* Bulk enqueue: the frame lands in DRAM via the page-granular
+             blit, with no intermediate string copy. *)
+          Physmem.blit_from_bytes t.mem ~pos:addr frame ~off:0 ~len;
           (* Scheduler metadata: flow key + size; packets to well-known
              (privileged) ports ride the high-priority class. *)
           let flow = Net.Packet.flow pkt in
@@ -178,8 +184,10 @@ let transmit t ~nf:_ ~addr ~len =
   in
   if dropped then drop t
   else begin
-    let frame = Physmem.read_bytes t.mem ~pos:addr ~len in
-    t.wire <- Bytes.of_string frame :: t.wire;
+    (* Bulk dequeue: drain the buffer straight into the wire frame. *)
+    let frame = Bytes.create len in
+    Physmem.blit_to_bytes t.mem ~pos:addr frame ~off:0 ~len;
+    t.wire <- frame :: t.wire;
     Obs.count t.sink Obs.Pktio_tx
   end;
   Alloc.free t.alloc addr
@@ -199,7 +207,7 @@ let deliver_to t ~nf frame =
       drop t;
       Error "buffer pool exhausted"
     | Some addr ->
-      Physmem.write_bytes t.mem ~pos:addr (Bytes.to_string frame);
+      Physmem.blit_from_bytes t.mem ~pos:addr frame ~off:0 ~len;
       let meta =
         match Net.Packet.parse ~verify_checksums:false frame with
         | Ok pkt ->

@@ -198,5 +198,18 @@ let iter f t =
   match t.state with
   | Sfifo q -> Queue.iter (fun (_, x) -> f x) q
   | Sprio qs -> Array.iter (Queue.iter (fun (_, x) -> f x)) qs
-  | Sdrr s -> Hashtbl.iter (fun _ q -> Queue.iter (fun (_, x) -> f x) q) s.queues
+  | Sdrr s ->
+    (* Walk the rotation list, not [Hashtbl.iter]: every live flow is in
+       the rotation exactly once (enqueue appends on queue creation,
+       dequeue removes queue and rotation entry together), so this visits
+       the same elements — but in the deterministic round-robin order.
+       [Pktio.release] frees queued buffers through this iterator, and a
+       hash-order walk would make the free order (and thus the allocator
+       state and the trace) vary across OCaml versions. *)
+    List.iter
+      (fun flow ->
+        match Hashtbl.find_opt s.queues flow with
+        | None -> ()
+        | Some q -> Queue.iter (fun (_, x) -> f x) q)
+      s.rotation
   | Swfq s -> Heap.iter f s.heap

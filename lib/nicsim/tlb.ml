@@ -79,6 +79,20 @@ let translate t ~vaddr ~access =
     else miss t vaddr
   | exception Missed -> miss t vaddr
 
+(* Entries map contiguous windows, so one lookup answers for every byte
+   up to the window's end: the bulk datapath translates once per entry
+   run instead of once per byte. *)
+let translate_run t ~vaddr ~len ~access =
+  if len <= 0 then invalid_arg "Tlb.translate_run: length must be positive";
+  match lookup vaddr t.entries with
+  | e ->
+    if access = Read || e.writable then begin
+      Obs.count t.sink Obs.Tlb_hit;
+      Some (e.pbase + (vaddr - e.vbase), min len (e.vbase + e.size - vaddr))
+    end
+    else miss t vaddr
+  | exception Missed -> miss t vaddr
+
 let entry_count t = List.length t.entries
 let capacity t = t.capacity
 let entries t = t.entries

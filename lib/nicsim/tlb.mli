@@ -47,6 +47,14 @@ type access = Read | Write
     miss / write to a read-only entry. *)
 val translate : t -> vaddr:int -> access:access -> int option
 
+(** [translate_run t ~vaddr ~len ~access] is [(paddr, n)] where [n <= len]
+    bytes starting at [vaddr] are contiguously mapped by the entry
+    covering [vaddr] — the bulk datapath's one-lookup-per-run primitive.
+    [None] exactly when [translate] on [vaddr] would miss; a byte past
+    the returned run may still be unmapped (call again at [vaddr + n]).
+    Counts one hit per run rather than one per byte. *)
+val translate_run : t -> vaddr:int -> len:int -> access:access -> (int * int) option
+
 (** Number of entries currently installed. *)
 val entry_count : t -> int
 

@@ -120,6 +120,9 @@ let quantile_of_samples samples q =
     Some (a.(lo) +. ((a.(hi) -. a.(lo)) *. frac))
   end
 
+(* The fold visits in hash order, which varies across OCaml versions and
+   hash seeds — and this listing escapes into artifacts (the Prometheus
+   page, bench JSON), so it is sorted by name before anything renders it. *)
 let sorted_metrics reg =
   let all = Hashtbl.fold (fun name m acc -> (name, m) :: acc) reg.tbl [] in
   List.sort (fun (a, _) (b, _) -> String.compare a b) all

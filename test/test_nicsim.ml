@@ -46,6 +46,66 @@ let test_physmem_ownership () =
   Alcotest.check_raises "unaligned" (Invalid_argument "Physmem.set_owner: range must be page-aligned") (fun () ->
       Physmem.set_owner m ~pos:7 ~len:p Physmem.Nic_os)
 
+(* Regression (bugfix PR): owner listings must come out ascending, not in
+   Hashtbl hash order — scrub and teardown walk them. *)
+let test_physmem_pages_owned_sorted () =
+  let m = Physmem.create ~size:(4 * mb) in
+  let p = Physmem.page_size in
+  (* Claim pages in a deliberately scattered order. *)
+  List.iter
+    (fun idx -> Physmem.set_owner m ~pos:(idx * p) ~len:p (Physmem.Nf 7))
+    [ 900; 3; 511; 42; 120; 7; 1000 ];
+  let pages = Physmem.pages_owned m (Physmem.Nf 7) in
+  Alcotest.(check (list int)) "ascending page indices" [ 3; 7; 42; 120; 511; 900; 1000 ] pages;
+  (* owned_ranges rides pages_owned: runs must also come out ascending. *)
+  Physmem.set_owner m ~pos:(8 * p) ~len:p (Physmem.Nf 7);
+  match Physmem.owned_ranges m (Physmem.Nf 7) with
+  | (first, len) :: _ ->
+    Alcotest.(check int) "first run starts at lowest page" (3 * p) first;
+    Alcotest.(check int) "single page run" p len
+  | [] -> Alcotest.fail "expected owned ranges"
+
+(* Regression (bugfix PR): a hostile length near max_int used to wrap
+   [pos + len] negative and slip past the bounds check. *)
+let test_physmem_check_overflow () =
+  let m = Physmem.create ~size:(1 * mb) in
+  let assert_rejected name pos len =
+    match Physmem.read_bytes m ~pos ~len with
+    | _ -> Alcotest.failf "%s: hostile range was accepted" name
+    | exception Invalid_argument _ -> ()
+  in
+  assert_rejected "len = max_int" 8 max_int;
+  assert_rejected "pos + len wraps" (mb - 1) (max_int - 100);
+  assert_rejected "negative len" 0 (-1);
+  (* The exact boundary is still fine. *)
+  Alcotest.(check int) "full-size read ok" mb (String.length (Physmem.read_bytes m ~pos:0 ~len:mb))
+
+let test_physmem_bulk_blits () =
+  let m = Physmem.create ~size:(4 * mb) in
+  let p = Physmem.page_size in
+  (* Page-straddling write via blit, read back via the per-byte path. *)
+  let src = Bytes.init (3 * p) (fun i -> Char.chr ((i * 31) land 0xff)) in
+  let pos = (5 * p) - 100 in
+  Physmem.blit_from_bytes m ~pos src ~off:0 ~len:(Bytes.length src);
+  let ok = ref true in
+  for i = 0 to Bytes.length src - 1 do
+    if Physmem.read_u8 m (pos + i) <> Char.code (Bytes.get src i) then ok := false
+  done;
+  Alcotest.(check bool) "blit_from_bytes matches per-byte reads" true !ok;
+  (* Bulk read over a never-written (sparse) region returns zeroes and
+     does not materialize pages. *)
+  let r0 = Physmem.resolutions m in
+  let buf = Bytes.make (2 * p) 'x' in
+  Physmem.blit_to_bytes m ~pos:(2 * mb) buf ~off:0 ~len:(2 * p);
+  Alcotest.(check bool) "sparse read is zeroes" true (Bytes.for_all (fun c -> c = '\000') buf);
+  Alcotest.(check int) "one resolution per page" 2 (Physmem.resolutions m - r0);
+  Alcotest.(check bool) "sparse pages stay sparse" true (Physmem.is_zero m ~pos:(2 * mb) ~len:(2 * p));
+  (* fill with a non-zero byte, then fill '\000' restores sparseness. *)
+  Physmem.fill m ~pos:(3 * mb) ~len:(2 * p) 'q';
+  Alcotest.(check string) "fill visible" (String.make 8 'q') (Physmem.read_bytes m ~pos:((3 * mb) + p) ~len:8);
+  Physmem.fill m ~pos:(3 * mb) ~len:(2 * p) '\000';
+  Alcotest.(check bool) "zero fill scrubs" true (Physmem.is_zero m ~pos:(3 * mb) ~len:(2 * p))
+
 (* ---------- TLB ---------- *)
 
 let test_tlb_translate () =
@@ -70,6 +130,65 @@ let test_tlb_validation () =
       Tlb.install tlb { Tlb.vbase = 0x1000; pbase = 0x1000; size = 0x1000; writable = true });
   Alcotest.check_raises "overlap" (Invalid_argument "Tlb.install: overlapping mapping") (fun () ->
       Tlb.install tlb { Tlb.vbase = 0; pbase = 0x2000; size = 0x1000; writable = true })
+
+let test_tlb_translate_run () =
+  let tlb = Tlb.create () in
+  Tlb.install tlb { Tlb.vbase = 0x10000; pbase = 0x800000; size = 0x10000; writable = true };
+  Tlb.install tlb { Tlb.vbase = 0x20000; pbase = 0x900000; size = 0x10000; writable = false };
+  (* A run is clipped at its entry's end even when the next entry is
+     virtually adjacent (it may not be physically contiguous). *)
+  Alcotest.(check (option (pair int int)))
+    "run clipped at entry end"
+    (Some (0x80ff00, 0x100))
+    (Tlb.translate_run tlb ~vaddr:0x1ff00 ~len:0x1000 ~access:Tlb.Read);
+  Alcotest.(check (option (pair int int)))
+    "run clipped by len"
+    (Some (0x800100, 0x80))
+    (Tlb.translate_run tlb ~vaddr:0x10100 ~len:0x80 ~access:Tlb.Read);
+  Alcotest.(check (option (pair int int)))
+    "write to ro entry misses" None
+    (Tlb.translate_run tlb ~vaddr:0x20000 ~len:16 ~access:Tlb.Write);
+  Alcotest.(check (option (pair int int)))
+    "unmapped misses" None
+    (Tlb.translate_run tlb ~vaddr:0x50000 ~len:16 ~access:Tlb.Read)
+
+let test_accel_stream () =
+  let mem = Physmem.create ~size:(4 * mb) in
+  let a = Accel.create ~kind:Accel.Zip ~threads:16 ~cluster_size:16 in
+  let cluster = Option.get (Accel.claim_cluster a ~nf:1) in
+  let tlb = Accel.cluster_tlb a ~cluster in
+  (* Map only [0, 1MB): like nf_launch, then lock. *)
+  ignore (Tlb.map_region tlb ~vbase:0 ~pbase:0 ~len:mb ~writable:true);
+  Tlb.lock tlb;
+  let data = String.init 10_000 (fun i -> Char.chr ((i * 7) land 0xff)) in
+  Physmem.write_bytes mem ~pos:0 data;
+  (match
+     Accel.stream a ~cluster ~now:0 ~mem ~src:0 ~src_len:(String.length data) ~dst:0x40000
+       ~f:(fun s -> String.uppercase_ascii s)
+   with
+  | Error e -> Alcotest.failf "stream failed: %s" (Accel.stream_error_to_string e)
+  | Ok (written, done_at) ->
+    Alcotest.(check int) "bytes written" (String.length data) written;
+    let expect_cost =
+      Accel.overhead_cycles Accel.Zip
+      + int_of_float (Accel.cycles_per_byte Accel.Zip *. float_of_int (String.length data))
+    in
+    Alcotest.(check int) "cost matches the service model" expect_cost done_at;
+    Alcotest.(check string) "output landed at dst"
+      (String.uppercase_ascii data)
+      (Physmem.read_bytes mem ~pos:0x40000 ~len:written));
+  (* A destination outside the locked bank faults at the exact first
+     unmapped virtual address. *)
+  (match Accel.stream a ~cluster ~now:0 ~mem ~src:0 ~src_len:16 ~dst:(mb - 8) ~f:Fun.id with
+  | Ok _ -> Alcotest.fail "stream escaped the cluster TLB"
+  | Error (Accel.Stream_fault { vaddr; write }) ->
+    Alcotest.(check int) "faulting vaddr" mb vaddr;
+    Alcotest.(check bool) "write fault" true write);
+  match Accel.stream a ~cluster ~now:0 ~mem ~src:(2 * mb) ~src_len:16 ~dst:0 ~f:Fun.id with
+  | Ok _ -> Alcotest.fail "unmapped source was readable"
+  | Error (Accel.Stream_fault { vaddr; write }) ->
+    Alcotest.(check int) "source fault vaddr" (2 * mb) vaddr;
+    Alcotest.(check bool) "read fault" false write
 
 let test_tlb_lock () =
   let tlb = Tlb.create () in
@@ -492,7 +611,11 @@ let suite =
     Alcotest.test_case "physmem cross-page u64" `Quick test_physmem_cross_page;
     Alcotest.test_case "physmem zero range" `Quick test_physmem_zero_range;
     Alcotest.test_case "physmem ownership" `Quick test_physmem_ownership;
+    Alcotest.test_case "physmem pages_owned sorted" `Quick test_physmem_pages_owned_sorted;
+    Alcotest.test_case "physmem overflow-safe bounds" `Quick test_physmem_check_overflow;
+    Alcotest.test_case "physmem bulk blits + sparse fill" `Quick test_physmem_bulk_blits;
     Alcotest.test_case "tlb translate" `Quick test_tlb_translate;
+    Alcotest.test_case "tlb translate_run" `Quick test_tlb_translate_run;
     Alcotest.test_case "tlb validation" `Quick test_tlb_validation;
     Alcotest.test_case "tlb lock" `Quick test_tlb_lock;
     Alcotest.test_case "bus free-for-all queues" `Quick test_bus_free_for_all;
@@ -518,6 +641,7 @@ let suite =
     Alcotest.test_case "accel exhaustion" `Quick test_accel_exhaustion;
     Alcotest.test_case "accel throughput scaling" `Quick test_accel_throughput_scaling;
     Alcotest.test_case "accel parallel service" `Quick test_accel_service_order;
+    Alcotest.test_case "accel stream via cluster TLB" `Quick test_accel_stream;
     Alcotest.test_case "dma unchecked" `Quick test_dma_unchecked;
     Alcotest.test_case "dma checked windows" `Quick test_dma_checked_windows;
     Alcotest.test_case "machine: own memory ok in all modes" `Quick test_machine_own_memory_always_works;

@@ -158,6 +158,51 @@ let prop_wire_decode_total =
 
 (* ---------- cipher: distinct nonces, distinct streams ---------- *)
 
+(* ---------- bulk datapath vs the per-byte reference ---------- *)
+
+(* Differential property for the bugfix PR: the page-granular bulk blits
+   must be byte-for-byte equivalent to the legacy one-lookup-per-byte
+   loop — across random sizes, page-straddling offsets, sparse
+   (never-written) pages, and with DRAM bit rot injected through
+   [flip_bit] at identical positions in both memories. *)
+let prop_bulk_blits_match_perbyte =
+  let page = Physmem.page_size in
+  let gen =
+    QCheck.quad
+      (QCheck.int_bound ((3 * page) - 1)) (* write offset, may straddle pages *)
+      (QCheck.int_bound (2 * page)) (* write length *)
+      (QCheck.string_of_size (QCheck.Gen.return 64)) (* payload seed *)
+      (QCheck.small_list (QCheck.pair (QCheck.int_bound ((6 * page) - 1)) (QCheck.int_bound 7)))
+    (* bit rot: (pos, bit) *)
+  in
+  QCheck.Test.make ~name:"bulk blits = per-byte loop (sizes, straddles, sparse, bit rot)" ~count:200 gen
+    (fun (off, len, seed, flips) ->
+      let size = 8 * page in
+      let bulk = Physmem.create ~size in
+      let reference = Physmem.create ~size in
+      let slen = String.length seed in
+      let payload = Bytes.init (max len 1) (fun i -> if slen = 0 then '\000' else seed.[(off + i) mod slen]) in
+      (* Write: bulk blit vs per-byte stores. *)
+      Physmem.blit_from_bytes bulk ~pos:off payload ~off:0 ~len;
+      for i = 0 to len - 1 do
+        Physmem.write_u8 reference (off + i) (Char.code (Bytes.get payload i))
+      done;
+      (* Identical bit rot in both worlds. *)
+      List.iter
+        (fun (pos, bit) ->
+          Physmem.flip_bit bulk ~pos ~bit;
+          Physmem.flip_bit reference ~pos ~bit)
+        flips;
+      (* Read back a larger window including pages neither memory ever
+         wrote: bulk read vs per-byte loads must agree everywhere. *)
+      let window = 7 * page in
+      let got = Physmem.read_bytes bulk ~pos:0 ~len:window in
+      let ok = ref true in
+      for i = 0 to window - 1 do
+        if Char.code got.[i] <> Physmem.read_u8 reference i then ok := false
+      done;
+      !ok)
+
 let prop_cipher_nonce_separation =
   QCheck.Test.make ~name:"cipher keystreams differ across nonces" ~count:100
     (QCheck.string_of_size (QCheck.Gen.int_range 16 64))
@@ -184,4 +229,5 @@ let suite =
     QCheck_alcotest.to_alcotest prop_wire_roundtrip;
     QCheck_alcotest.to_alcotest prop_wire_decode_total;
     QCheck_alcotest.to_alcotest prop_cipher_nonce_separation;
+    QCheck_alcotest.to_alcotest prop_bulk_blits_match_perbyte;
   ]

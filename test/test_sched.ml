@@ -89,6 +89,25 @@ let test_iter_sees_everything () =
       Alcotest.(check int) (Sched.policy_name policy ^ " length") 10 (Sched.length s))
     [ Sched.Fifo; Sched.Drr { quantum = 128 }; Sched.Priority { levels = 2 }; Sched.Wfq ]
 
+(* Regression (bugfix PR): DRR iter must walk flows in rotation order,
+   not Hashtbl hash order — Pktio.release frees buffers through it, so a
+   hash-order walk would make the allocator's free order nondeterministic
+   across OCaml versions. *)
+let test_drr_iter_rotation_order () =
+  let s = Sched.create (Sched.Drr { quantum = 256 }) in
+  (* Flows appear in enqueue order 5, 2, 9; within a flow, FIFO. *)
+  List.iter (fun (flow, x) -> Sched.enqueue s (meta ~flow ()) x) [ (5, 0); (2, 1); (9, 2); (5, 3); (2, 4) ];
+  let order = ref [] in
+  Sched.iter (fun x -> order := x :: !order) s;
+  Alcotest.(check (list int)) "rotation order: flow 5, then 2, then 9" [ 0; 3; 1; 4; 2 ] (List.rev !order);
+  (* Dequeuing a whole flow drops it from the walk; the rest keep their
+     relative rotation order. *)
+  Alcotest.(check (option int)) "pop flow 5 head" (Some 0) (Sched.dequeue s);
+  Alcotest.(check (option int)) "pop flow 5 tail" (Some 3) (Sched.dequeue s);
+  let order = ref [] in
+  Sched.iter (fun x -> order := x :: !order) s;
+  Alcotest.(check (list int)) "flow 5 gone, 2 before 9" [ 1; 4; 2 ] (List.rev !order)
+
 let prop_all_policies_conserve =
   QCheck.Test.make ~name:"schedulers neither lose nor duplicate packets" ~count:100
     (QCheck.pair (QCheck.int_bound 3) (QCheck.list_of_size (QCheck.Gen.int_range 0 50) (QCheck.int_bound 1000)))
@@ -145,6 +164,7 @@ let suite =
     Alcotest.test_case "wfq per-flow order" `Quick test_wfq_single_flow_order;
     Alcotest.test_case "validation" `Quick test_validation;
     Alcotest.test_case "iter/length" `Quick test_iter_sees_everything;
+    Alcotest.test_case "drr iter rotation order" `Quick test_drr_iter_rotation_order;
     QCheck_alcotest.to_alcotest prop_all_policies_conserve;
     Alcotest.test_case "priority pipeline end-to-end" `Quick test_pktio_priority_pipeline;
   ]
