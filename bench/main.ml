@@ -981,6 +981,37 @@ let run_check () =
       exit 1
     end
 
+(* ------------------------------------------------------------------ *)
+(* Isolation oracle: differential-fuzzing throughput + violation census *)
+
+let oracle_section () =
+  header "Isolation oracle (lib/oracle)";
+  let ops = if fast then 5_000 else 50_000 in
+  Printf.printf "%-12s %10s %10s %10s %12s  violations by class\n" "mode" "ops" "executed" "found" "ops/sec";
+  List.iter
+    (fun mode ->
+      let id = Oracle.Campaign.mode_id mode in
+      let t0 = Sys.time () in
+      let r = Oracle.Campaign.run ~mode ~ops ~seed () in
+      let dt = Sys.time () -. t0 in
+      let rate = if dt > 0. then float_of_int ops /. dt else 0. in
+      let found = List.length r.Oracle.Campaign.violations in
+      let by_class =
+        List.filter_map
+          (fun (cls, n) -> if n = 0 then None else Some (Printf.sprintf "%s=%d" (Oracle.Refmodel.cls_to_string cls) n))
+          (Oracle.Campaign.counts r)
+      in
+      Printf.printf "%-12s %10d %10d %10d %12.0f  %s\n" id ops r.Oracle.Campaign.executed found rate
+        (if by_class = [] then "(clean)" else String.concat " " by_class);
+      let m name v = metric (Printf.sprintf "oracle.%s.%s" id name) v in
+      m "ops_per_sec" rate;
+      m "violations" (float_of_int found);
+      List.iter
+        (fun (cls, n) -> m (Oracle.Refmodel.cls_to_string cls) (float_of_int n))
+        (Oracle.Campaign.counts r))
+    Oracle.Campaign.all_modes;
+  print_endline "expectation: every commodity mode reports >=1 class; snic stays (clean)"
+
 let main () =
   print_endline "S-NIC evaluation reproduction (EuroSys'24) — all tables and figures";
   if fast then print_endline "[--fast: reduced Figure 5 sweeps]";
@@ -1012,6 +1043,7 @@ let main () =
   fleet_section ();
   chaos_section ();
   datapath_section ();
+  oracle_section ();
   microbenches ();
   write_metrics ();
   run_check ();
@@ -1024,7 +1056,11 @@ let () =
     datapath_section ();
     write_metrics ();
     run_check ()
+  | Some "oracle" ->
+    print_endline "S-NIC isolation oracle bench (differential fuzzing throughput)";
+    oracle_section ();
+    write_metrics ()
   | Some other ->
-    Printf.eprintf "unknown --only section: %s (known: datapath)\n" other;
+    Printf.eprintf "unknown --only section: %s (known: datapath, oracle)\n" other;
     exit 2
   | None -> main ()

@@ -382,6 +382,88 @@ let datapath_cmd =
        ~doc:"Quick probe of the bulk Physmem fast path vs the per-byte baseline (see bench --only datapath)")
     Term.(const run $ bytes $ seed_arg)
 
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let oracle_cmd =
+  let mode_enum = Arg.enum (List.map (fun m -> (Oracle.Campaign.mode_id m, m)) Oracle.Campaign.all_modes) in
+  let mode =
+    Arg.(value & opt (some mode_enum) None
+         & info [ "mode" ] ~docv:"MODE" ~doc:"NIC mode: se-s|se-um|se-um-xk|agilio|bluefield|snic")
+  in
+  let ops = Arg.(value & opt int 10_000 & info [ "ops" ] ~docv:"N" ~doc:"Ops to generate and execute") in
+  let slots = Arg.(value & opt int Oracle.Campaign.default_slots & info [ "slots" ] ~docv:"K" ~doc:"Tenant slots (1-8)") in
+  let replay =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"FILE" ~doc:"Replay a recorded trace file instead of generating ops")
+  in
+  let dump =
+    Arg.(value & opt (some string) None
+         & info [ "dump" ] ~docv:"FILE" ~doc:"Write the executed (or, with --shrink, the shrunk) trace to $(docv)")
+  in
+  let shrink = Arg.(value & flag & info [ "shrink" ] ~doc:"Delta-debug the first violation down to a minimal trace") in
+  let expect =
+    Arg.(value & opt (some (enum [ ("clean", `Clean); ("violations", `Violations) ])) None
+         & info [ "expect" ] ~docv:"WHAT" ~doc:"Exit 1 unless the run is $(b,clean) / has $(b,violations)")
+  in
+  let run seed mode ops slots replay dump shrink expect =
+    let fail msg =
+      prerr_endline msg;
+      exit 2
+    in
+    if slots < 1 || slots > 8 then fail "oracle: --slots must be in 1..8";
+    if ops < 0 then fail "oracle: --ops must be non-negative";
+    let mode, slots, ops_list, seed_used =
+      match replay with
+      | Some path -> (
+        match Oracle.Campaign.trace_of_string (read_file path) with
+        | Ok (m, s, trace) -> (m, s, trace, None)
+        | Error e -> fail (Printf.sprintf "oracle: %s: %s" path e))
+      | None -> (
+        match mode with
+        | None -> fail "oracle: --mode is required (or use --replay FILE)"
+        | Some m ->
+          let seed = Option.value seed ~default:42 in
+          (m, slots, Oracle.Campaign.gen_ops ~slots ~ops ~seed, Some seed))
+    in
+    let report = { (Oracle.Campaign.replay ~slots ~mode ops_list) with Oracle.Campaign.seed = seed_used } in
+    print_string (Oracle.Campaign.to_string report);
+    let final_ops =
+      if not shrink then ops_list
+      else begin
+        match report.Oracle.Campaign.violations with
+        | [] ->
+          print_endline "shrink: nothing to shrink (no violations)";
+          ops_list
+        | v :: _ ->
+          let small = Oracle.Shrink.minimize ~slots ~mode ops_list v in
+          Printf.printf "shrink: %d ops -> %d ops reproducing [%s]\n" (List.length ops_list) (List.length small)
+            (Oracle.Refmodel.cls_to_string v.Oracle.Refmodel.cls);
+          List.iter (fun op -> print_endline ("  " ^ Oracle.Op.to_line op)) small;
+          small
+      end
+    in
+    (match dump with
+    | Some path -> write_file path (Oracle.Campaign.trace_to_string ~mode ~slots final_ops)
+    | None -> ());
+    match (expect, report.Oracle.Campaign.violations) with
+    | Some `Clean, _ :: _ ->
+      prerr_endline "oracle: expected a clean run but found violations";
+      exit 1
+    | Some `Violations, [] ->
+      prerr_endline "oracle: expected violations but the run was clean";
+      exit 1
+    | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "oracle"
+       ~doc:"Model-based isolation oracle: differential fuzzing of the machine against a flat reference model")
+    Term.(const run $ seed_arg $ mode $ ops $ slots $ replay $ dump $ shrink $ expect)
+
 let trace_cmd =
   let scenario =
     Arg.(value & pos 0 (enum [ ("chaos", `Chaos); ("fleet", `Fleet) ]) `Chaos
@@ -450,5 +532,6 @@ let () =
        (Cmd.group info
           [
             attacks_cmd; dos_cmd; covert_cmd; probe_cmd; tco_cmd; overhead_cmd; tlb_cmd; pack_cmd; table6_cmd;
-            ipc_cmd; dpi_cmd; fig5_cmd; fig8_cmd; timeline_cmd; fleet_cmd; chaos_cmd; datapath_cmd; trace_cmd;
+            ipc_cmd; dpi_cmd; fig5_cmd; fig8_cmd; timeline_cmd; fleet_cmd; chaos_cmd; datapath_cmd; oracle_cmd;
+            trace_cmd;
           ]))

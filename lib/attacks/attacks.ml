@@ -4,6 +4,7 @@ open Nicsim
    [Attacks.Scenario]. *)
 module Scenario = Scenario
 module Safebricks = Safebricks
+module Replays = Replays
 
 type outcome = { mode : Machine.mode; succeeded : bool; detail : string }
 

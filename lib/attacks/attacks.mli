@@ -8,6 +8,7 @@
 
 module Scenario = Scenario
 module Safebricks = Safebricks
+module Replays = Replays
 
 type outcome = {
   mode : Nicsim.Machine.mode;

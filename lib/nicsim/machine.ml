@@ -217,6 +217,12 @@ let is_secure t addr = Hashtbl.mem t.secure (addr lsr Physmem.page_bits)
 let os_denied t addr =
   t.config.mode = Snic && (match Physmem.owner_of t.mem addr with Physmem.Nf _ -> true | _ -> false)
 
+(* Read-only introspection for external checkers: ground truth, no
+   policy, no mutation. *)
+let page_owner t addr = Physmem.owner_of t.mem addr
+let secure_page t addr = is_secure t addr
+let tlb_entries t ~core = Tlb.entries t.core_tlbs.(core)
+
 type addressing = Virt of { core : int; vaddr : int } | Phys of int
 
 (* The single policy decision point: may [principal] touch physical

@@ -111,6 +111,22 @@ val mmio_reg_iq : int
     ownership when [mode = Snic]; exposed for tests). *)
 val os_denied : t -> int -> bool
 
+(** {2 Read-only introspection}
+
+    Ground-truth state queries for external checkers (the model-based
+    oracle of [lib/oracle]). None of these consult the mode's access
+    policy and none mutate anything — they answer "what is", not "who
+    may". *)
+
+(** Owner of the 4 KB page containing a physical address. *)
+val page_owner : t -> int -> Physmem.owner
+
+(** BlueField: is the page containing this address secure-world memory? *)
+val secure_page : t -> int -> bool
+
+(** Snapshot of a core TLB's installed entries (most recent first). *)
+val tlb_entries : t -> core:int -> Tlb.entry list
+
 (** {2 Memory access, checked per mode} *)
 
 type addressing = Virt of { core : int; vaddr : int } | Phys of int

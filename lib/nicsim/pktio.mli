@@ -52,6 +52,14 @@ val scheduler_of : t -> nf:int -> Sched.policy option
 
 val release : t -> nf:int -> unit
 
+(** Total bytes currently reserved across NFs. Computed as a
+    [Hashtbl.fold] sum — commutative by construction, so insertion
+    order cannot leak into the result (the regression suite holds this
+    to account). *)
+val reserved_rx : t -> int
+
+val reserved_tx : t -> int
+
 (** Remaining unreserved space. *)
 val rx_available : t -> int
 

@@ -1,0 +1,60 @@
+(** Seeded oracle campaigns: generate, execute, report, replay.
+
+    A campaign is fully determined by (mode, slots, ops, seed): the op
+    stream is drawn from {!Trace.Rng} independently of execution, so the
+    same seed reproduces the same trace byte-for-byte — and any explicit
+    op list (a [--replay] file, a shrunk counterexample) runs through
+    {!replay} with identical semantics. *)
+
+type report = {
+  mode : Nicsim.Machine.mode;
+  seed : int option; (* None for explicit-trace replays *)
+  ops : int; (* ops driven at the harness *)
+  executed : int;
+  skipped : int;
+  violations : Refmodel.violation list; (* execution order *)
+}
+
+(** Stable short mode identifiers for CLIs, trace files and CI: "se-s",
+    "se-um", "se-um-xk", "agilio", "bluefield", "snic". *)
+val mode_id : Nicsim.Machine.mode -> string
+
+val mode_of_id : string -> Nicsim.Machine.mode option
+
+(** All five architectures (SE-UM in both flavours), commodity first. *)
+val all_modes : Nicsim.Machine.mode list
+
+(** The default slot population (6). *)
+val default_slots : int
+
+(** [gen_ops ~slots ~ops ~seed] draws the op stream a seeded campaign
+    executes. Generation never consults execution state, so the stream
+    depends on the seed alone. *)
+val gen_ops : slots:int -> ops:int -> seed:int -> Op.t list
+
+(** [replay ?slots ~mode ops] runs an explicit op list on a fresh
+    harness. *)
+val replay : ?slots:int -> mode:Nicsim.Machine.mode -> Op.t list -> report
+
+(** [run ?slots ~mode ~ops ~seed ()] = [gen_ops] + [replay], with [seed]
+    recorded in the report. *)
+val run : ?slots:int -> mode:Nicsim.Machine.mode -> ops:int -> seed:int -> unit -> report
+
+(** Violations per class, in {!Refmodel.all_classes} order, zero-count
+    classes included. *)
+val counts : report -> (Refmodel.cls * int) list
+
+(** Human-readable, deterministic summary (counts per class and the
+    first violation of each class). *)
+val to_string : report -> string
+
+(** {2 Trace files}
+
+    Line-oriented: a [# ...] comment header, a [mode <id>] directive, an
+    optional [slots <n>] directive, then one {!Op.to_line} per line.
+    Blank lines and further comments are ignored. *)
+
+val trace_to_string : mode:Nicsim.Machine.mode -> slots:int -> Op.t list -> string
+
+(** Strict parse; [Error] names the offending line. *)
+val trace_of_string : string -> (Nicsim.Machine.mode * int * Op.t list, string) result

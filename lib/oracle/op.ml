@@ -1,0 +1,259 @@
+type space = Virt | Phys
+type actor = Os | Slot of int
+type reg = Graph | Iq
+type dir = To_host | To_nic
+
+type t =
+  | Launch of { slot : int; mem_kb : int; accel : bool; rules : bool }
+  | Teardown of { slot : int }
+  | Read of { actor : actor; target : int; space : space; off : int; len : int }
+  | Write of { actor : actor; target : int; space : space; off : int; len : int; byte : int }
+  | Mmio_write of { actor : int; target : int; reg : reg; value : int }
+  | Dma of { actor : int; target : int; dir : dir; off : int; len : int }
+  | Stream of { slot : int; src : int; dst : int; len : int }
+  | Inject of { target : int; pad : int }
+  | Attest of { slot : int }
+
+let equal (a : t) (b : t) = a = b
+
+(* Weights (per 100): launches and teardowns churn the slot population;
+   reads/writes dominate because the §3.3 attack surface is memory
+   accesses; the rest keep DMA, accelerators, packets and attestation in
+   every campaign's mix. *)
+let gen rng ~slots =
+  let slot () = Trace.Rng.int rng slots in
+  let off () = Trace.Rng.int rng 16384 in
+  let len () = 8 + Trace.Rng.int rng 57 in
+  let mixed_actor target =
+    (* Self, cross-tenant and NIC-OS accesses in a 2:1:1 ratio. *)
+    match Trace.Rng.int rng 4 with
+    | 0 | 1 -> Slot target
+    | 2 -> Slot (slot ())
+    | _ -> Os
+  in
+  match Trace.Rng.int rng 100 with
+  | n when n < 12 ->
+    Launch
+      {
+        slot = slot ();
+        mem_kb = 4 lsl Trace.Rng.int rng 3;
+        accel = Trace.Rng.int rng 3 = 0;
+        rules = Trace.Rng.bool rng;
+      }
+  | n when n < 20 -> Teardown { slot = slot () }
+  | n when n < 50 ->
+    let target = slot () in
+    if Trace.Rng.int rng 4 = 0 then begin
+      (* Self read through the TLB; one in ten runs past the window. *)
+      let off = if Trace.Rng.int rng 10 = 0 then 0x40000 + off () else off () in
+      Read { actor = Slot target; target; space = Virt; off; len = len () }
+    end
+    else Read { actor = mixed_actor target; target; space = Phys; off = off (); len = len () }
+  | n when n < 70 ->
+    let target = slot () in
+    let byte = 1 + Trace.Rng.int rng 255 in
+    if Trace.Rng.int rng 4 = 0 then
+      Write { actor = Slot target; target; space = Virt; off = off (); len = len (); byte }
+    else Write { actor = mixed_actor target; target; space = Phys; off = off (); len = len (); byte }
+  | n when n < 76 ->
+    Mmio_write
+      {
+        actor = slot ();
+        target = slot ();
+        reg = (if Trace.Rng.bool rng then Graph else Iq);
+        value = 1 + Trace.Rng.int rng 0xFFFF;
+      }
+  | n when n < 84 ->
+    Dma
+      {
+        actor = slot ();
+        target = slot ();
+        dir = (if Trace.Rng.bool rng then To_host else To_nic);
+        off = off ();
+        len = len ();
+      }
+  | n when n < 90 -> Stream { slot = slot (); src = off (); dst = off (); len = len () }
+  | n when n < 98 -> Inject { target = slot (); pad = Trace.Rng.int rng 48 }
+  | _ -> Attest { slot = slot () }
+
+let actor_to_string = function Os -> "os" | Slot s -> string_of_int s
+
+let slots_of = function
+  | Launch { slot; _ } | Teardown { slot } | Stream { slot; _ } | Attest { slot } -> string_of_int slot
+  | Read { actor; target; _ } | Write { actor; target; _ } ->
+    actor_to_string actor ^ ">" ^ string_of_int target
+  | Mmio_write { actor; target; _ } | Dma { actor; target; _ } ->
+    string_of_int actor ^ ">" ^ string_of_int target
+  | Inject { target; _ } -> string_of_int target
+
+let max_slot = function
+  | Launch { slot; _ } | Teardown { slot } | Stream { slot; _ } | Attest { slot } -> slot
+  | Read { actor; target; _ } | Write { actor; target; _ } -> (
+    match actor with Slot a -> max a target | Os -> target)
+  | Mmio_write { actor; target; _ } | Dma { actor; target; _ } -> max actor target
+  | Inject { target; _ } -> target
+
+let space_to_string = function Virt -> "virt" | Phys -> "phys"
+let reg_to_string = function Graph -> "graph" | Iq -> "iq"
+let dir_to_string = function To_host -> "to-host" | To_nic -> "to-nic"
+let bool_to_string b = if b then "1" else "0"
+
+let to_line = function
+  | Launch { slot; mem_kb; accel; rules } ->
+    Printf.sprintf "launch slot=%d kb=%d accel=%s rules=%s" slot mem_kb (bool_to_string accel)
+      (bool_to_string rules)
+  | Teardown { slot } -> Printf.sprintf "teardown slot=%d" slot
+  | Read { actor; target; space; off; len } ->
+    Printf.sprintf "read actor=%s target=%d space=%s off=%d len=%d" (actor_to_string actor) target
+      (space_to_string space) off len
+  | Write { actor; target; space; off; len; byte } ->
+    Printf.sprintf "write actor=%s target=%d space=%s off=%d len=%d byte=%d" (actor_to_string actor)
+      target (space_to_string space) off len byte
+  | Mmio_write { actor; target; reg; value } ->
+    Printf.sprintf "mmio actor=%d target=%d reg=%s value=%d" actor target (reg_to_string reg) value
+  | Dma { actor; target; dir; off; len } ->
+    Printf.sprintf "dma actor=%d target=%d dir=%s off=%d len=%d" actor target (dir_to_string dir) off len
+  | Stream { slot; src; dst; len } -> Printf.sprintf "stream slot=%d src=%d dst=%d len=%d" slot src dst len
+  | Inject { target; pad } -> Printf.sprintf "inject target=%d pad=%d" target pad
+  | Attest { slot } -> Printf.sprintf "attest slot=%d" slot
+
+(* ---- strict line parser ------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let parse_fields words =
+  (* key=value pairs; duplicates and bare words are errors. *)
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | w :: rest -> begin
+      match String.index_opt w '=' with
+      | None -> Error (Printf.sprintf "expected key=value, got %S" w)
+      | Some i ->
+        let k = String.sub w 0 i and v = String.sub w (i + 1) (String.length w - i - 1) in
+        if List.mem_assoc k acc then Error (Printf.sprintf "duplicate field %S" k) else go ((k, v) :: acc) rest
+    end
+  in
+  go [] words
+
+let field fields k =
+  match List.assoc_opt k fields with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" k)
+
+let int_field fields k =
+  let* v = field fields k in
+  match int_of_string_opt v with
+  | Some n when n >= 0 -> Ok n
+  | Some _ -> Error (Printf.sprintf "field %S must be non-negative" k)
+  | None -> Error (Printf.sprintf "field %S is not an integer: %S" k v)
+
+let bool_field fields k =
+  let* v = field fields k in
+  match v with "1" -> Ok true | "0" -> Ok false | _ -> Error (Printf.sprintf "field %S must be 0 or 1" k)
+
+let actor_field fields k =
+  let* v = field fields k in
+  if String.equal v "os" then Ok Os
+  else begin
+    match int_of_string_opt v with
+    | Some n when n >= 0 -> Ok (Slot n)
+    | _ -> Error (Printf.sprintf "field %S must be \"os\" or a slot index" k)
+  end
+
+let space_field fields k =
+  let* v = field fields k in
+  match v with
+  | "virt" -> Ok Virt
+  | "phys" -> Ok Phys
+  | _ -> Error (Printf.sprintf "field %S must be virt or phys" k)
+
+let reg_field fields k =
+  let* v = field fields k in
+  match v with
+  | "graph" -> Ok Graph
+  | "iq" -> Ok Iq
+  | _ -> Error (Printf.sprintf "field %S must be graph or iq" k)
+
+let dir_field fields k =
+  let* v = field fields k in
+  match v with
+  | "to-host" -> Ok To_host
+  | "to-nic" -> Ok To_nic
+  | _ -> Error (Printf.sprintf "field %S must be to-host or to-nic" k)
+
+let expect_exactly fields keys =
+  match List.find_opt (fun (k, _) -> not (List.mem k keys)) fields with
+  | Some (k, _) -> Error (Printf.sprintf "unknown field %S" k)
+  | None -> Ok ()
+
+let of_line line =
+  let words = String.split_on_char ' ' (String.trim line) |> List.filter (fun w -> w <> "") in
+  match words with
+  | [] -> Error "empty line"
+  | verb :: rest -> begin
+    let* fields = parse_fields rest in
+    let exact keys = expect_exactly fields keys in
+    match verb with
+    | "launch" ->
+      let* () = exact [ "slot"; "kb"; "accel"; "rules" ] in
+      let* slot = int_field fields "slot" in
+      let* mem_kb = int_field fields "kb" in
+      let* accel = bool_field fields "accel" in
+      let* rules = bool_field fields "rules" in
+      if mem_kb = 0 then Error "field \"kb\" must be positive" else Ok (Launch { slot; mem_kb; accel; rules })
+    | "teardown" ->
+      let* () = exact [ "slot" ] in
+      let* slot = int_field fields "slot" in
+      Ok (Teardown { slot })
+    | "read" ->
+      let* () = exact [ "actor"; "target"; "space"; "off"; "len" ] in
+      let* actor = actor_field fields "actor" in
+      let* target = int_field fields "target" in
+      let* space = space_field fields "space" in
+      let* off = int_field fields "off" in
+      let* len = int_field fields "len" in
+      if len = 0 then Error "field \"len\" must be positive" else Ok (Read { actor; target; space; off; len })
+    | "write" ->
+      let* () = exact [ "actor"; "target"; "space"; "off"; "len"; "byte" ] in
+      let* actor = actor_field fields "actor" in
+      let* target = int_field fields "target" in
+      let* space = space_field fields "space" in
+      let* off = int_field fields "off" in
+      let* len = int_field fields "len" in
+      let* byte = int_field fields "byte" in
+      if len = 0 then Error "field \"len\" must be positive"
+      else if byte = 0 || byte > 255 then Error "field \"byte\" must be in 1..255"
+      else Ok (Write { actor; target; space; off; len; byte })
+    | "mmio" ->
+      let* () = exact [ "actor"; "target"; "reg"; "value" ] in
+      let* actor = int_field fields "actor" in
+      let* target = int_field fields "target" in
+      let* reg = reg_field fields "reg" in
+      let* value = int_field fields "value" in
+      Ok (Mmio_write { actor; target; reg; value })
+    | "dma" ->
+      let* () = exact [ "actor"; "target"; "dir"; "off"; "len" ] in
+      let* actor = int_field fields "actor" in
+      let* target = int_field fields "target" in
+      let* dir = dir_field fields "dir" in
+      let* off = int_field fields "off" in
+      let* len = int_field fields "len" in
+      if len = 0 then Error "field \"len\" must be positive" else Ok (Dma { actor; target; dir; off; len })
+    | "stream" ->
+      let* () = exact [ "slot"; "src"; "dst"; "len" ] in
+      let* slot = int_field fields "slot" in
+      let* src = int_field fields "src" in
+      let* dst = int_field fields "dst" in
+      let* len = int_field fields "len" in
+      if len = 0 then Error "field \"len\" must be positive" else Ok (Stream { slot; src; dst; len })
+    | "inject" ->
+      let* () = exact [ "target"; "pad" ] in
+      let* target = int_field fields "target" in
+      let* pad = int_field fields "pad" in
+      Ok (Inject { target; pad })
+    | "attest" ->
+      let* () = exact [ "slot" ] in
+      let* slot = int_field fields "slot" in
+      Ok (Attest { slot })
+    | v -> Error (Printf.sprintf "unknown op %S" v)
+  end

@@ -1,0 +1,89 @@
+(** The oracle's operation alphabet.
+
+    One op is one multi-tenant action against a simulated NIC: a tenant
+    lifecycle event, a memory access in some addressing mode, an
+    accelerator MMIO poke, a DMA transfer, an accelerator stream, a
+    packet injection, or an attestation. Ops name tenants by *slot*
+    (a small stable index), never by NF id or physical address, so any
+    subsequence of a trace is still a well-formed trace — the property
+    the delta-debugging shrinker relies on. The harness maps slots to
+    whatever NF ids and physical regions the run actually produced, and
+    silently skips ops that do not apply to the current slot state.
+
+    Ops serialize to a line-oriented text format ([to_line]/[of_line])
+    used by [--dump]/[--replay] trace files; decoding is strict and
+    returns a typed error rather than raising. *)
+
+(** How a memory access addresses its bytes: [Virt] goes through the
+    actor's core TLB (self-region only — commodity NICs map each tenant
+    a private window); [Phys] is a raw physical address (the xkphys-style
+    access §3.3's attacks are built from). *)
+type space = Virt | Phys
+
+(** Who issues an access: the NIC OS, or the tenant in a slot. *)
+type actor = Os | Slot of int
+
+(** Accelerator-cluster MMIO configuration registers (§4.3). *)
+type reg = Graph | Iq
+
+(** DMA direction, NIC-relative. *)
+type dir = To_host | To_nic
+
+type t =
+  | Launch of { slot : int; mem_kb : int; accel : bool; rules : bool }
+      (** Install a tenant in [slot]: a [mem_kb] KiB region holding a
+          recognizable secret, optionally a DPI accelerator cluster and a
+          packet-switch rule. S-NIC mode uses the trusted [nf_launch];
+          commodity modes use the commodity management path. *)
+  | Teardown of { slot : int }
+      (** Destroy the tenant in [slot]. S-NIC mode uses [nf_teardown]
+          (hardware scrub + TLB reset); commodity modes free the region
+          the way commodity firmware does — without scrubbing. *)
+  | Read of { actor : actor; target : int; space : space; off : int; len : int }
+      (** [actor] reads [len] bytes at offset [off] of [target]'s region.
+          [Virt] reads are self-only and may run past the mapped window
+          (TLB-fault coverage); [Phys] offsets are clamped into the
+          region. *)
+  | Write of { actor : actor; target : int; space : space; off : int; len : int; byte : int }
+      (** As [Read], but storing [len] copies of [byte] (never 0). *)
+  | Mmio_write of { actor : int; target : int; reg : reg; value : int }
+      (** Tenant [actor] writes [target]'s accelerator-cluster
+          configuration register — the §4.3 hijack primitive. *)
+  | Dma of { actor : int; target : int; dir : dir; off : int; len : int }
+      (** Tenant [actor] DMAs between [target]'s on-NIC region and
+          [actor]'s own host window. [target <> actor] is a cross-tenant
+          DMA: S-NIC's locked bank windows refuse it; commodity engines
+          move raw physical bytes. *)
+  | Stream of { slot : int; src : int; dst : int; len : int }
+      (** [slot] streams [len] bytes from [src] to [dst] (both offsets in
+          its own region) through its accelerator cluster's TLB bank. *)
+  | Inject of { target : int; pad : int }
+      (** Put a frame on the wire addressed to [target]'s switch rule;
+          the tenant then pops, verifies and recycles the buffer. *)
+  | Attest of { slot : int }
+      (** S-NIC: run [nf_attest] for the tenant and check a signature
+          comes back. Commodity modes have no attestation instruction
+          (skipped). *)
+
+(** [gen rng ~slots] draws one op with campaign-tuned weights; every
+    field is a function of [rng] draws alone, so a seed reproduces the
+    op stream byte-for-byte. *)
+val gen : Trace.Rng.t -> slots:int -> t
+
+(** Slots an op involves, as ["a>t"]-style text — the op's identity for
+    shrink matching, stable across re-allocation. *)
+val slots_of : t -> string
+
+(** Largest slot index the op references. The harness skips ops that
+    reference slots beyond its population (range safety for replayed
+    traces). *)
+val max_slot : t -> int
+
+(** One-line textual form, [of_line]-parseable. *)
+val to_line : t -> string
+
+(** Strict parse of one [to_line] line. [Error] (never an exception) on
+    unknown verbs, missing/duplicate/garbage fields, or trailing junk. *)
+val of_line : string -> (t, string) result
+
+val equal : t -> t -> bool

@@ -1,0 +1,43 @@
+let remove_chunk l ~start ~len = List.filteri (fun i _ -> i < start || i >= start + len) l
+
+let minimize ?(slots = Campaign.default_slots) ~mode ops (v : Refmodel.violation) =
+  let key = Refmodel.key v in
+  let reproduces candidate =
+    candidate <> []
+    &&
+    let r = Campaign.replay ~slots ~mode candidate in
+    List.exists (fun v' -> String.equal (Refmodel.key v') key) r.Campaign.violations
+  in
+  (* Everything after the violating step is noise by construction. *)
+  let prefix = List.filteri (fun i _ -> i <= v.Refmodel.step) ops in
+  if not (reproduces prefix) then prefix
+  else begin
+    (* Classic ddmin: remove ever-finer chunks while the key survives. *)
+    let rec ddmin current n =
+      let len = List.length current in
+      if len <= 1 || n > len then current
+      else begin
+        let chunk = (len + n - 1) / n in
+        let rec try_complements start =
+          if start >= len then None
+          else begin
+            let candidate = remove_chunk current ~start ~len:chunk in
+            if reproduces candidate then Some candidate else try_complements (start + chunk)
+          end
+        in
+        match try_complements 0 with
+        | Some candidate -> ddmin candidate (max 2 (n - 1))
+        | None -> if chunk <= 1 then current else ddmin current (min len (2 * n))
+      end
+    in
+    let reduced = ddmin prefix 2 in
+    (* Greedy one-by-one sweep to catch stragglers ddmin's chunking missed. *)
+    let rec sweep current i =
+      if i >= List.length current then current
+      else begin
+        let candidate = remove_chunk current ~start:i ~len:1 in
+        if reproduces candidate then sweep candidate i else sweep current (i + 1)
+      end
+    in
+    sweep reduced 0
+  end

@@ -1,0 +1,15 @@
+(** Delta-debugging (ddmin) over oracle traces.
+
+    Given a trace and one violation from its run, [minimize] finds a
+    small sub-trace whose replay still produces a violation with the
+    same {!Refmodel.key} (class + slot signature — stable across
+    subsequences even as NF ids and physical addresses drift). Ops are
+    slot-indexed and inapplicable ones are skipped deterministically, so
+    every candidate subsequence is a well-formed trace; shrinking is
+    pure search, no repair. *)
+
+(** [minimize ?slots ~mode ops violation] — the returned trace replays
+    to a violation with the same key (or, if the violation unexpectedly
+    fails to reproduce from its own prefix, that prefix unchanged). *)
+val minimize :
+  ?slots:int -> mode:Nicsim.Machine.mode -> Op.t list -> Refmodel.violation -> Op.t list

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Suite-list drift gate: every test/test_*.ml must be registered in
+# test_main.ml. A new suite that compiles but is never run is worse
+# than a missing one — it looks green forever.
+set -e
+
+status=0
+for f in test_*.ml; do
+  [ "$f" = "test_main.ml" ] && continue
+  base=${f%.ml}
+  # Module name: capitalize the first letter (test_foo.ml -> Test_foo).
+  first=$(printf %s "$base" | cut -c1 | tr '[:lower:]' '[:upper:]')
+  module="$first$(printf %s "$base" | cut -c2-)"
+  if ! grep -q "$module\.suite" test_main.ml; then
+    echo "check_suites FAIL: $f compiles but $module.suite is not registered in test_main.ml" >&2
+    status=1
+  fi
+done
+
+[ "$status" -eq 0 ] && echo "all $(ls test_*.ml | grep -cv '^test_main\.ml$') test modules are registered"
+exit "$status"

@@ -1,0 +1,62 @@
+#!/bin/sh
+# CLI contract: every surfaced subcommand must
+#   - exit 0 on --help,
+#   - exit non-zero AND print usage on an unknown flag,
+# and the top-level command must reject unknown subcommands the same
+# way. cmdliner's conventional error status is 124; we require it
+# exactly so accidental uncaught exceptions (status 2/125) fail here.
+#
+# Usage: cli_contract.sh /path/to/snic_cli.exe
+set -e
+
+cli="$1"
+[ -x "$cli" ] || { echo "cli_contract: no executable at '$cli'" >&2; exit 2; }
+
+fail() { echo "cli_contract FAIL: $*" >&2; exit 1; }
+
+check_help() {
+  # $@ = subcommand path
+  "$cli" "$@" --help > /dev/null 2>&1 || fail "'$* --help' exited non-zero"
+}
+
+check_bad_flag() {
+  set +e
+  err=$("$cli" "$@" --definitely-not-a-flag 2>&1 > /dev/null)
+  status=$?
+  set -e
+  [ "$status" -eq 124 ] || fail "'$* --definitely-not-a-flag' exited $status, want 124"
+  case "$err" in
+    *Usage:*) : ;;
+    *) fail "'$* --definitely-not-a-flag' printed no usage line" ;;
+  esac
+}
+
+for sub in fleet chaos trace datapath oracle attacks; do
+  check_help "$sub"
+  check_bad_flag "$sub"
+done
+
+check_help
+check_bad_flag
+
+# Unknown subcommand: non-zero + usage.
+set +e
+err=$("$cli" no-such-subcommand 2>&1 > /dev/null)
+status=$?
+set -e
+[ "$status" -eq 124 ] || fail "unknown subcommand exited $status, want 124"
+case "$err" in
+  *Usage:*) : ;;
+  *) fail "unknown subcommand printed no usage line" ;;
+esac
+
+# oracle-specific argument validation (our own checks, not cmdliner's):
+# missing --mode and out-of-range --slots are status-2 errors.
+set +e
+"$cli" oracle > /dev/null 2>&1
+[ $? -eq 2 ] || fail "'oracle' without --mode should exit 2"
+"$cli" oracle --mode snic --slots 99 > /dev/null 2>&1
+[ $? -eq 2 ] || fail "'oracle --slots 99' should exit 2"
+set -e
+
+echo "cli contract holds (fleet chaos trace datapath oracle attacks)"

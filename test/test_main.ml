@@ -23,4 +23,5 @@ let () =
       ("faults", Test_faults.suite);
       ("chaos", Test_chaos.suite);
       ("obs", Test_obs.suite);
+      ("oracle", Test_oracle.suite);
     ]

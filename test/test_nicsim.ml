@@ -726,3 +726,35 @@ let test_alloc_reuse_preserves_slot_extent () =
   Alcotest.(check int) "big allocation fits in the recycled slot" big big2
 
 let suite = suite @ [ Alcotest.test_case "alloc reuse keeps slot extent" `Quick test_alloc_reuse_preserves_slot_extent ]
+
+(* Regression for the order-insensitivity claims on [Pktio]'s
+   [Hashtbl.fold] sums (pktio.ml): reserved_rx/reserved_tx must not
+   depend on reservation insertion order, including after releases
+   perturb the table's internal layout. *)
+let test_pktio_reserved_order_insensitive () =
+  let reservations = [ (0, 4096, 8192); (1, 65536, 1024); (2, 16384, 16384); (3, 1024, 4096); (4, 8192, 2048) ] in
+  let build order =
+    let _, io = make_pktio () in
+    List.iter
+      (fun (nf, rx, tx) ->
+        match Pktio.reserve io ~nf ~rx_bytes:rx ~tx_bytes:tx with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "reserve nf=%d: %s" nf e)
+      order;
+    io
+  in
+  let fwd = build reservations in
+  let rev = build (List.rev reservations) in
+  Alcotest.(check int) "reserved_rx order-insensitive" (Pktio.reserved_rx fwd) (Pktio.reserved_rx rev);
+  Alcotest.(check int) "reserved_tx order-insensitive" (Pktio.reserved_tx fwd) (Pktio.reserved_tx rev);
+  (* Release a middle entry in both and re-compare: deletion rehashing
+     must not change the sums either. *)
+  Pktio.release fwd ~nf:2;
+  Pktio.release rev ~nf:2;
+  Alcotest.(check int) "reserved_rx after release" (Pktio.reserved_rx fwd) (Pktio.reserved_rx rev);
+  Alcotest.(check int) "reserved_tx after release" (Pktio.reserved_tx fwd) (Pktio.reserved_tx rev);
+  Alcotest.(check int) "rx_available after release" (Pktio.rx_available fwd) (Pktio.rx_available rev);
+  Alcotest.(check int) "tx_available after release" (Pktio.tx_available fwd) (Pktio.tx_available rev)
+
+let suite =
+  suite @ [ Alcotest.test_case "pktio reserved sums ignore insertion order" `Quick test_pktio_reserved_order_insensitive ]

@@ -298,9 +298,37 @@ let test_trace_deterministic () =
     (Fleet.Telemetry.prometheus (Fleet.Orchestrator.telemetry orch_a))
     (Fleet.Telemetry.prometheus (Fleet.Orchestrator.telemetry orch_b))
 
+(* Regression for the hash-order hazard documented at metrics.ml's
+   [sorted_metrics]: exports escape into artifacts, so they must be a
+   function of the recorded values alone, not of registration order. *)
+let test_registry_order_insensitive () =
+  let entries = [ "zeta"; "alpha"; "mid"; "aa"; "z" ] in
+  let build names =
+    let reg = Obs.Metrics.create_registry () in
+    List.iter
+      (fun name ->
+        let c = Obs.Metrics.counter reg ("ctr_" ^ name) ~help:("help " ^ name) in
+        Obs.Metrics.add c (String.length name);
+        let h = Obs.Metrics.histogram reg ("hist_" ^ name) in
+        Obs.Metrics.observe h (float_of_int (String.length name)))
+      names;
+    reg
+  in
+  let fwd = build entries in
+  let rev = build (List.rev entries) in
+  Alcotest.(check string) "prometheus export ignores registration order" (Obs.Metrics.prometheus fwd)
+    (Obs.Metrics.prometheus rev);
+  Alcotest.(check (list (pair string int)))
+    "counters listing ignores registration order" (Obs.Metrics.counters fwd) (Obs.Metrics.counters rev);
+  (* And the listing really is sorted, so any future fold-order change
+     surfaces as a test failure rather than artifact churn. *)
+  let names = List.map fst (Obs.Metrics.counters fwd) in
+  Alcotest.(check (list string)) "counters sorted by name" (List.sort String.compare names) names
+
 let suite =
   [
     Alcotest.test_case "registry registration is idempotent" `Quick test_registry_idempotent;
+    Alcotest.test_case "metric exports ignore registration order" `Quick test_registry_order_insensitive;
     Alcotest.test_case "sample quantiles: None under 2 samples, interpolated above" `Quick test_sample_quantiles;
     Alcotest.test_case "histogram quantiles: None under 2 observations" `Quick test_histogram_quantiles;
     Alcotest.test_case "null sink adds no allocation on the TLB hit path" `Quick test_null_sink_tlb_hit_allocation;

@@ -156,6 +156,37 @@ let prop_wire_decode_total =
     (QCheck.pair (QCheck.int_bound 6) (QCheck.string_of_size (QCheck.Gen.int_range 0 100)))
     (fun (n, junk) -> match Snic.Wire.decode ~expect:n junk with Ok _ | Error _ -> true)
 
+(* Strictness: every proper prefix of a non-empty encoding is a typed
+   error (truncated prefix or truncated field), and extending an
+   encoding by any byte is a typed error (trailing bytes) — decode
+   accepts exactly the image of encode, never via exception. *)
+let gen_wire_fields =
+  QCheck.list_of_size (QCheck.Gen.int_range 1 6) (QCheck.string_of_size (QCheck.Gen.int_range 0 32))
+
+let prop_wire_rejects_truncation =
+  QCheck.Test.make ~name:"wire decode rejects every proper prefix" ~count:200
+    (QCheck.pair gen_wire_fields (QCheck.int_bound 1000))
+    (fun (fields, cut) ->
+      let s = Snic.Wire.encode fields in
+      let cut = cut mod String.length s in
+      match Snic.Wire.decode ~expect:(List.length fields) (String.sub s 0 cut) with
+      | Error _ -> true
+      | Ok _ -> false)
+
+let prop_wire_rejects_trailing =
+  QCheck.Test.make ~name:"wire decode rejects trailing garbage" ~count:200
+    (QCheck.pair gen_wire_fields QCheck.printable_char)
+    (fun (fields, extra) ->
+      let s = Snic.Wire.encode fields ^ String.make 1 extra in
+      match Snic.Wire.decode ~expect:(List.length fields) s with Error _ -> true | Ok _ -> false)
+
+let prop_wire_rejects_wrong_arity =
+  QCheck.Test.make ~name:"wire decode rejects wrong field count" ~count:200 gen_wire_fields (fun fields ->
+      let s = Snic.Wire.encode fields in
+      let n = List.length fields in
+      (match Snic.Wire.decode ~expect:(n - 1) s with Error _ -> true | Ok _ -> false)
+      && match Snic.Wire.decode ~expect:(n + 1) s with Error _ -> true | Ok _ -> false)
+
 (* ---------- cipher: distinct nonces, distinct streams ---------- *)
 
 (* ---------- bulk datapath vs the per-byte reference ---------- *)
@@ -228,6 +259,9 @@ let suite =
     QCheck_alcotest.to_alcotest prop_tlb_injective;
     QCheck_alcotest.to_alcotest prop_wire_roundtrip;
     QCheck_alcotest.to_alcotest prop_wire_decode_total;
+    QCheck_alcotest.to_alcotest prop_wire_rejects_truncation;
+    QCheck_alcotest.to_alcotest prop_wire_rejects_trailing;
+    QCheck_alcotest.to_alcotest prop_wire_rejects_wrong_arity;
     QCheck_alcotest.to_alcotest prop_cipher_nonce_separation;
     QCheck_alcotest.to_alcotest prop_bulk_blits_match_perbyte;
   ]
