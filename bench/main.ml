@@ -944,10 +944,16 @@ let parse_flat_json path =
   List.rev !pairs
 
 (* Every key in the committed baseline must be present in this run and
-   within 25% of its baseline value; on top of that, the DMA bulk path
-   must beat the per-byte engine by at least 10x in absolute terms. *)
+   within 25% of its baseline value; on top of that, sections carry
+   absolute floors: the DMA bulk path must beat the per-byte engine by
+   at least 10x, and the VF scheduler must hold its fairness bounds
+   (Jain index and worst share error vs configured weights). *)
 let check_tolerance = 0.25
 let dma_speedup_floor = 10.
+let vf_jain_floor = 0.95
+let vf_err_ceiling_pct = 5.
+
+let section_ran name = only = None || only = Some name
 
 let run_check () =
   match path_after "--check" with
@@ -967,13 +973,25 @@ let run_check () =
             fail "%s: %.6f vs baseline %.6f (%.1f%% off, tolerance %.0f%%)" key got expect (100. *. rel)
               (100. *. check_tolerance))
       baseline;
-    (match List.assoc_opt "datapath.dma.speedup_x" current with
-    | Some s when s < dma_speedup_floor ->
-      fail "datapath.dma.speedup_x: %.1fx is below the %.0fx floor" s dma_speedup_floor
-    | Some _ -> ()
-    | None -> fail "datapath.dma.speedup_x: missing from this run");
+    (if section_ran "datapath" then
+       match List.assoc_opt "datapath.dma.speedup_x" current with
+       | Some s when s < dma_speedup_floor ->
+         fail "datapath.dma.speedup_x: %.1fx is below the %.0fx floor" s dma_speedup_floor
+       | Some _ -> ()
+       | None -> fail "datapath.dma.speedup_x: missing from this run");
+    (if section_ran "vf" then begin
+       (match List.assoc_opt "vf.jain_min" current with
+       | Some j when j < vf_jain_floor -> fail "vf.jain_min: %.4f is below the %.2f floor" j vf_jain_floor
+       | Some _ -> ()
+       | None -> fail "vf.jain_min: missing from this run");
+       match List.assoc_opt "vf.max_share_err_pct" current with
+       | Some e when e > vf_err_ceiling_pct ->
+         fail "vf.max_share_err_pct: %.2f%% is above the %.0f%% ceiling" e vf_err_ceiling_pct
+       | Some _ -> ()
+       | None -> fail "vf.max_share_err_pct: missing from this run"
+     end);
     if !failures = [] then
-      Printf.printf "\nbench --check: %d baseline metrics within %.0f%%, DMA speedup floor met\n"
+      Printf.printf "\nbench --check: %d baseline metrics within %.0f%%, absolute floors met\n"
         (List.length baseline) (100. *. check_tolerance)
     else begin
       Printf.printf "\nbench --check FAILED against %s:\n" path;
@@ -1012,6 +1030,72 @@ let oracle_section () =
     Oracle.Campaign.all_modes;
   print_endline "expectation: every commodity mode reports >=1 class; snic stays (clean)"
 
+(* ------------------------------------------------------------------ *)
+(* Virtual functions: two-stage scheduler fairness at fleet density *)
+
+let vf_section () =
+  header "Virtual functions (lib/vf): two-stage scheduler at fleet density";
+  let nics = 64 in
+  let vfs_per_nic = 256 in
+  (* A heterogeneous rack (shape cycle small, medium, large, medium =
+     256/512/1024/512 VF slots) takes nics * 256 tenant vNICs, spread
+     round-robin so every NIC serves the same tenant count; weights
+     cycle 1,2,4,8 so each NIC hosts a mix of shares. *)
+  let sites =
+    List.init nics (fun i ->
+        { Fleet.Vfplace.nic = i; slots = (Fleet.Node.shape_of_index i).Fleet.Node.vf_slots })
+  in
+  let vnics =
+    List.init (nics * vfs_per_nic) (fun j ->
+        { Fleet.Vfplace.tenant = j + 1; weight = [| 1; 2; 4; 8 |].(j / nics mod 4) })
+  in
+  let assignments =
+    match Fleet.Vfplace.pack Fleet.Vfplace.Spread ~sites ~vnics with
+    | Ok a -> a
+    | Error e -> failwith ("vf_section placement: " ^ e)
+  in
+  let groups = Fleet.Vfplace.per_nic assignments in
+  let cycles = 32 in
+  let t0 = Sys.time () in
+  let results =
+    List.map
+      (fun (nic, assigns) ->
+        Vf.Scenario.run_nic ~nic ~cycles ~seed
+          ~vnics:(List.map (fun (a : Fleet.Vfplace.assignment) -> (a.tenant, a.weight)) assigns)
+          ())
+      groups
+  in
+  let secs = Sys.time () -. t0 in
+  let sum f = List.fold_left (fun a r -> a + f r) 0 results in
+  let pkts = sum (fun (r : Vf.Scenario.nic_result) -> r.scheduled_pkts) in
+  let bytes = sum (fun (r : Vf.Scenario.nic_result) -> r.scheduled_bytes) in
+  let drops = sum (fun (r : Vf.Scenario.nic_result) -> r.drops) in
+  let rounds = sum (fun (r : Vf.Scenario.nic_result) -> r.rounds) in
+  let jain_min =
+    List.fold_left (fun a (r : Vf.Scenario.nic_result) -> Float.min a r.report.Obs.Fairness.index) infinity results
+  in
+  let max_err =
+    List.fold_left (fun a (r : Vf.Scenario.nic_result) -> Float.max a r.report.Obs.Fairness.max_rel_err) 0. results
+  in
+  let pps = if secs > 0. then float_of_int pkts /. secs else 0. in
+  (match results with
+  | first :: _ -> Printf.printf "first NIC: %s\n" (Vf.Scenario.nic_summary first)
+  | [] -> ());
+  Printf.printf "%d NICs x %d VFs = %d tenant vNICs, %d cycles each\n" nics vfs_per_nic (nics * vfs_per_nic) cycles;
+  Printf.printf "scheduled %d pkts (%d MB) in %.2fs -> %.0f pkts/sec\n" pkts (bytes / 1048576) secs pps;
+  Printf.printf "fairness: worst jain %.4f, worst share error %.2f%%, drops %d\n" jain_min (100. *. max_err) drops;
+  let m name v = metric ("vf." ^ name) v in
+  m "nics" (float_of_int nics);
+  m "total_vnics" (float_of_int (nics * vfs_per_nic));
+  m "scheduled_pkts" (float_of_int pkts);
+  m "scheduled_bytes" (float_of_int bytes);
+  m "rounds" (float_of_int rounds);
+  m "drops" (float_of_int drops);
+  m "jain_min" jain_min;
+  m "max_share_err_pct" (100. *. max_err);
+  m "sched_pps" pps;
+  print_endline "expectation: shares track weights within 5% on every NIC (jain >= 0.95), zero drops"
+
 let main () =
   print_endline "S-NIC evaluation reproduction (EuroSys'24) — all tables and figures";
   if fast then print_endline "[--fast: reduced Figure 5 sweeps]";
@@ -1044,6 +1128,7 @@ let main () =
   chaos_section ();
   datapath_section ();
   oracle_section ();
+  vf_section ();
   microbenches ();
   write_metrics ();
   run_check ();
@@ -1060,7 +1145,12 @@ let () =
     print_endline "S-NIC isolation oracle bench (differential fuzzing throughput)";
     oracle_section ();
     write_metrics ()
+  | Some "vf" ->
+    print_endline "S-NIC virtual-function bench (two-stage scheduler fairness at density)";
+    vf_section ();
+    write_metrics ();
+    run_check ()
   | Some other ->
-    Printf.eprintf "unknown --only section: %s (known: datapath, oracle)\n" other;
+    Printf.eprintf "unknown --only section: %s (known: datapath, oracle, vf)\n" other;
     exit 2
   | None -> main ()

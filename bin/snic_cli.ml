@@ -464,6 +464,59 @@ let oracle_cmd =
        ~doc:"Model-based isolation oracle: differential fuzzing of the machine against a flat reference model")
     Term.(const run $ seed_arg $ mode $ ops $ slots $ replay $ dump $ shrink $ expect)
 
+let vf_cmd =
+  let nics = Arg.(value & opt int 1 & info [ "nics" ] ~docv:"N" ~doc:"Independent NICs to drive") in
+  let vfs = Arg.(value & opt int 256 & info [ "vfs" ] ~docv:"K" ~doc:"Virtual functions per NIC") in
+  let cycles =
+    Arg.(value & opt int 32
+         & info [ "cycles" ] ~docv:"C" ~doc:"Stage-1 scheduler rotations to serve (convergence depth)")
+  in
+  let quantum = Arg.(value & opt int 1024 & info [ "quantum" ] ~docv:"BYTES" ~doc:"Stage-1 byte quantum per weight unit") in
+  let min_jain =
+    Arg.(value & opt float 0.95
+         & info [ "min-jain" ] ~docv:"F" ~doc:"Exit 1 if any NIC's weighted Jain index falls below $(docv)")
+  in
+  let max_err =
+    Arg.(value & opt float 5.0
+         & info [ "max-err" ] ~docv:"PCT" ~doc:"Exit 1 if any tenant's goodput share misses its weight share by more than $(docv)%%")
+  in
+  let shares = Arg.(value & flag & info [ "shares" ] ~doc:"Print the per-tenant share table of the first NIC") in
+  let run seed nics vfs cycles quantum min_jain max_err shares =
+    let fail msg =
+      prerr_endline msg;
+      exit 2
+    in
+    if nics < 1 then fail "vf: --nics must be >= 1";
+    if vfs < 1 || vfs > 4096 then fail "vf: --vfs must be in 1..4096";
+    if cycles < 1 then fail "vf: --cycles must be >= 1";
+    if quantum < 1 then fail "vf: --quantum must be >= 1";
+    let seed = Option.value seed ~default:42 in
+    let config = { Vf.Table.default_config with Vf.Table.quantum } in
+    let t0 = Sys.time () in
+    let r = Vf.Scenario.run ~config ~nics ~vfs ~cycles ~seed () in
+    let secs = Sys.time () -. t0 in
+    Printf.printf "vf: %d NIC(s) x %d VFs, %d cycles, quantum %d, seed %d\n" nics vfs cycles quantum seed;
+    print_string (Vf.Scenario.summary r);
+    (match (shares, r.Vf.Scenario.nics) with
+    | true, nr :: _ -> print_string (Obs.Fairness.summary nr.Vf.Scenario.report)
+    | _ -> ());
+    if secs > 0. then
+      Printf.printf "throughput: %.0f scheduled pkts/sec (wall, non-deterministic)\n"
+        (float_of_int r.Vf.Scenario.total_pkts /. secs);
+    if r.Vf.Scenario.jain_min < min_jain then begin
+      Printf.eprintf "vf: FAIL jain %.4f below floor %.4f\n" r.Vf.Scenario.jain_min min_jain;
+      exit 1
+    end;
+    if 100. *. r.Vf.Scenario.max_rel_err > max_err then begin
+      Printf.eprintf "vf: FAIL share error %.2f%% above ceiling %.2f%%\n" (100. *. r.Vf.Scenario.max_rel_err) max_err;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "vf"
+       ~doc:"SR-IOV virtual functions: saturate every VF and check the two-stage scheduler's weighted fairness")
+    Term.(const run $ seed_arg $ nics $ vfs $ cycles $ quantum $ min_jain $ max_err $ shares)
+
 let trace_cmd =
   let scenario =
     Arg.(value & pos 0 (enum [ ("chaos", `Chaos); ("fleet", `Fleet) ]) `Chaos
@@ -533,5 +586,5 @@ let () =
           [
             attacks_cmd; dos_cmd; covert_cmd; probe_cmd; tco_cmd; overhead_cmd; tlb_cmd; pack_cmd; table6_cmd;
             ipc_cmd; dpi_cmd; fig5_cmd; fig8_cmd; timeline_cmd; fleet_cmd; chaos_cmd; datapath_cmd; oracle_cmd;
-            trace_cmd;
+            vf_cmd; trace_cmd;
           ]))

@@ -213,3 +213,167 @@ let iter f t =
         | Some q -> Queue.iter (fun (_, x) -> f x) q)
       s.rotation
   | Swfq s -> Heap.iter f s.heap
+
+(* ---- two-stage hierarchical transmit scheduler ---------------------- *)
+
+module Hier = struct
+  (* Aliases to the single-stage scheduler above, captured before this
+     module shadows the names with its own. *)
+  let s_create = create
+  let s_enqueue = enqueue
+  let s_dequeue = dequeue
+  let s_is_empty = is_empty
+  let s_length = length
+  let s_iter = iter
+
+  type 'a klass = {
+    mutable k_weight : int;
+    k_inner : (int * 'a) t; (* stage-2 scheduler; items tagged with bytes *)
+    mutable k_deficit : int;
+    mutable k_active : bool; (* present in the rotation queue *)
+  }
+
+  type nonrec 'a t = {
+    quantum : int;
+    inner_policy : policy;
+    classes : (int, 'a klass) Hashtbl.t;
+    rotation : int Queue.t;
+    mutable count : int;
+    mutable rounds : int;
+    mutable sink : Obs.sink;
+    mutable track : int;
+  }
+
+  let create ?(inner = Drr { quantum = 1024 }) ~quantum () =
+    if quantum <= 0 then invalid_arg "Sched.Hier.create: quantum must be positive";
+    (* Validate the inner policy now, not at the first enqueue. *)
+    ignore (s_create inner);
+    {
+      quantum;
+      inner_policy = inner;
+      classes = Hashtbl.create 64;
+      rotation = Queue.create ();
+      count = 0;
+      rounds = 0;
+      sink = Obs.null;
+      track = 0;
+    }
+
+  let inner_policy t = t.inner_policy
+  let quantum t = t.quantum
+
+  let set_sink t sink ~track =
+    t.sink <- sink;
+    t.track <- track
+
+  let klass t cls =
+    match Hashtbl.find_opt t.classes cls with
+    | Some k -> k
+    | None ->
+      let k = { k_weight = 1; k_inner = s_create t.inner_policy; k_deficit = 0; k_active = false } in
+      Hashtbl.add t.classes cls k;
+      k
+
+  let set_class t ~cls ~weight =
+    if weight < 1 then invalid_arg "Sched.Hier.set_class: weight must be >= 1";
+    (klass t cls).k_weight <- weight
+
+  let weight_of t ~cls =
+    match Hashtbl.find_opt t.classes cls with Some k -> Some k.k_weight | None -> None
+
+  let enqueue t ~cls meta x =
+    let k = klass t cls in
+    s_enqueue k.k_inner meta (meta.bytes, x);
+    t.count <- t.count + 1;
+    if not k.k_active then begin
+      k.k_active <- true;
+      k.k_deficit <- 0;
+      Queue.push cls t.rotation
+    end
+
+  let rec service t =
+    if Queue.is_empty t.rotation then None
+    else begin
+      let cls = Queue.peek t.rotation in
+      match Hashtbl.find_opt t.classes cls with
+      | None ->
+        ignore (Queue.pop t.rotation);
+        service t
+      | Some k ->
+        if s_is_empty k.k_inner then begin
+          ignore (Queue.pop t.rotation);
+          k.k_active <- false;
+          (* An idle class forfeits leftover credit: banking deficit across
+             idle periods would let a bursty VF later starve the rest. *)
+          k.k_deficit <- 0;
+          service t
+        end
+        else if k.k_deficit > 0 then begin
+          match s_dequeue k.k_inner with
+          | None -> assert false
+          | Some (bytes, x) ->
+            k.k_deficit <- k.k_deficit - bytes;
+            t.count <- t.count - 1;
+            if s_is_empty k.k_inner then begin
+              ignore (Queue.pop t.rotation);
+              k.k_active <- false;
+              k.k_deficit <- 0
+            end
+            else if k.k_deficit <= 0 then begin
+              ignore (Queue.pop t.rotation);
+              Queue.push cls t.rotation
+            end;
+            Some (cls, x)
+        end
+        else begin
+          (* One refill per visit, then rotate if still in debt. *)
+          k.k_deficit <- k.k_deficit + (t.quantum * k.k_weight);
+          t.rounds <- t.rounds + 1;
+          Obs.count t.sink Obs.Sched_switch;
+          Obs.instant t.sink ~ts:(Obs.seq t.sink) ~track:t.track Obs.Sched "wrr_quantum" ~arg:cls;
+          if k.k_deficit <= 0 then begin
+            ignore (Queue.pop t.rotation);
+            Queue.push cls t.rotation
+          end;
+          service t
+        end
+    end
+
+  let dequeue t = if t.count = 0 then None else service t
+  let length t = t.count
+  let is_empty t = t.count = 0
+
+  let class_length t ~cls =
+    match Hashtbl.find_opt t.classes cls with Some k -> s_length k.k_inner | None -> 0
+
+  let rounds t = t.rounds
+
+  let drain t =
+    let rec go acc = match dequeue t with None -> List.rev acc | Some cx -> go (cx :: acc) in
+    go []
+
+  let iter f t =
+    (* Stage-1 rotation order, then the inner scheduler's own walk —
+       deterministic for the same reason the single-stage DRR walk is. *)
+    Queue.iter
+      (fun cls ->
+        match Hashtbl.find_opt t.classes cls with
+        | None -> ()
+        | Some k -> s_iter (fun (_, x) -> f cls x) k.k_inner)
+      t.rotation
+
+  let remove_class t ~cls =
+    match Hashtbl.find_opt t.classes cls with
+    | None -> []
+    | Some k ->
+      let dropped = ref [] in
+      s_iter (fun (_, x) -> dropped := x :: !dropped) k.k_inner;
+      t.count <- t.count - s_length k.k_inner;
+      Hashtbl.remove t.classes cls;
+      (* Purge the rotation queue without disturbing relative order. *)
+      let keep = Queue.create () in
+      Queue.iter (fun c -> if c <> cls then Queue.push c keep) t.rotation;
+      Queue.clear t.rotation;
+      Queue.transfer keep t.rotation;
+      List.rev !dropped
+end

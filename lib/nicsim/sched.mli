@@ -49,3 +49,68 @@ val drain : 'a t -> 'a list
 (** Apply [f] to every queued element (used to recycle buffers when a
     pipeline is torn down). *)
 val iter : ('a -> unit) -> 'a t -> unit
+
+(** Two-stage hierarchical transmit scheduler (the SR-IOV VF datapath).
+
+    Stage 1 is a weighted deficit round robin across integer class keys
+    (one class per virtual function, weight = the VF's share); stage 2 is
+    an ordinary single-stage scheduler per class (by default the per-flow
+    DRR above), so each VF keeps its own flow ordering while the classes
+    split link bytes in proportion to their weights.
+
+    The stage-1 discipline is byte-based DRR with one refill per visit:
+    a class in debt receives [quantum * weight] credit and, if still in
+    debt, rotates to the back.  A class that empties forfeits leftover
+    credit, so long-run byte shares of backlogged classes converge to
+    their weights (within one refill plus one max-size packet) and no
+    backlogged class can be starved. *)
+module Hier : sig
+  type 'a t
+
+  (** [create ?inner ~quantum ()] — [quantum] is the stage-1 byte credit
+      per weight unit per rotation visit; [inner] is the per-class
+      stage-2 discipline (default [Drr {quantum = 1024}]). *)
+  val create : ?inner:policy -> quantum:int -> unit -> 'a t
+
+  val inner_policy : 'a t -> policy
+  val quantum : 'a t -> int
+
+  (** Emits a [wrr_quantum] instant (and bumps the quantum-switch
+      counter) on every stage-1 refill. *)
+  val set_sink : 'a t -> Obs.sink -> track:int -> unit
+
+  (** [set_class t ~cls ~weight] declares (or re-weights) a class.
+      Classes are created implicitly with weight 1 on first enqueue.
+      Raises [Invalid_argument] if [weight < 1]. *)
+  val set_class : 'a t -> cls:int -> weight:int -> unit
+
+  val weight_of : 'a t -> cls:int -> int option
+
+  (** [enqueue t ~cls meta x] queues [x] on class [cls]; [meta] feeds the
+      stage-2 discipline and [meta.bytes] charges the stage-1 deficit. *)
+  val enqueue : 'a t -> cls:int -> meta -> 'a -> unit
+
+  (** Next (class, element) per the two-stage discipline. *)
+  val dequeue : 'a t -> (int * 'a) option
+
+  val length : 'a t -> int
+  val is_empty : 'a t -> bool
+
+  (** Queued elements on one class (other classes' backlogs never count
+      against it). *)
+  val class_length : 'a t -> cls:int -> int
+
+  (** Stage-1 quantum refills so far (a determinism-friendly progress
+      measure). *)
+  val rounds : 'a t -> int
+
+  val drain : 'a t -> (int * 'a) list
+
+  (** Visit every queued element in deterministic rotation-walk order. *)
+  val iter : (int -> 'a -> unit) -> 'a t -> unit
+
+  (** [remove_class t ~cls] drops the class and returns its queued
+      elements in service order (used to recycle descriptors when a VF
+      detaches). *)
+  val remove_class : 'a t -> cls:int -> 'a list
+end

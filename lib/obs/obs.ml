@@ -1,7 +1,9 @@
 (* Root of the observability library: [Obs.sink] and the emit API come
-   from [Sink]; [Obs.Metrics] is the counter/histogram registry and
-   [Obs.Chrome] the trace_event exporter. *)
+   from [Sink]; [Obs.Metrics] is the counter/histogram registry,
+   [Obs.Chrome] the trace_event exporter, and [Obs.Fairness] the
+   per-tenant goodput-share / Jain-index report. *)
 
 module Metrics = Metrics
 module Chrome = Chrome
+module Fairness = Fairness
 include Sink

@@ -46,6 +46,10 @@ type stat =
   | Pktio_rx
   | Pktio_tx
   | Pktio_drop
+  | Vf_tx
+  | Vf_rx
+  | Vf_drop
+  | Vf_doorbell
 
 let stat_index = function
   | Tlb_hit -> 0
@@ -65,8 +69,12 @@ let stat_index = function
   | Pktio_rx -> 14
   | Pktio_tx -> 15
   | Pktio_drop -> 16
+  | Vf_tx -> 17
+  | Vf_rx -> 18
+  | Vf_drop -> 19
+  | Vf_doorbell -> 20
 
-let n_stats = 17
+let n_stats = 21
 
 let stat_name = function
   | Tlb_hit -> "snic_tlb_hit_total"
@@ -86,12 +94,16 @@ let stat_name = function
   | Pktio_rx -> "snic_pktio_rx_total"
   | Pktio_tx -> "snic_pktio_tx_total"
   | Pktio_drop -> "snic_pktio_drop_total"
+  | Vf_tx -> "snic_vf_tx_total"
+  | Vf_rx -> "snic_vf_rx_total"
+  | Vf_drop -> "snic_vf_drop_total"
+  | Vf_doorbell -> "snic_vf_doorbell_total"
 
 let all_stats =
   [
     Tlb_hit; Tlb_miss; Cache_hit; Cache_miss; Cache_evict; Cache_fill; Bus_grant; Bus_stall;
     Dma_start; Dma_complete; Dma_fault; Accel_dispatch; Accel_retire; Sched_switch; Pktio_rx;
-    Pktio_tx; Pktio_drop;
+    Pktio_tx; Pktio_drop; Vf_tx; Vf_rx; Vf_drop; Vf_doorbell;
   ]
 
 type recorder = {

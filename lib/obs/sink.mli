@@ -69,6 +69,10 @@ type stat =
   | Pktio_rx
   | Pktio_tx
   | Pktio_drop
+  | Vf_tx
+  | Vf_rx
+  | Vf_drop
+  | Vf_doorbell
 
 val stat_name : stat -> string
 (** Registry name of a hot-path counter, e.g. ["snic_tlb_hit_total"]. *)

@@ -25,6 +25,7 @@ type t = {
   mode : Machine.mode;
   machine : Machine.t;
   insns : Snic.Instructions.t option; (* Some iff mode = Snic *)
+  vft : Vf.Table.t; (* one VF slot per tenant slot *)
   slot_count : int;
   states : slot_state array;
   mutable next_nf : int; (* commodity NF id counter *)
@@ -48,6 +49,7 @@ let create ~mode ~slots =
     mode;
     machine;
     insns;
+    vft = Vf.Table.create machine { Vf.Table.default_config with Vf.Table.vfs = slots };
     slot_count = slots;
     states = Array.make slots Empty;
     next_nf = 0;
@@ -241,6 +243,9 @@ let check_teardown_hygiene t idx op ~slot ~(u : tenant) =
 
 let teardown t idx op ~slot ~(u : tenant) =
   let m = t.machine in
+  (* A tenant's VF dies with it: detach first so the window page is
+     scrubbed (S-NIC) and freed before the region teardown runs. *)
+  if Vf.Table.attached t.vft ~vf:slot then Vf.Table.detach t.vft ~vf:slot;
   (match t.insns with
   | Some insns -> (
     match Snic.Instructions.nf_teardown insns ~id:u.nf with
@@ -384,6 +389,85 @@ let mmio_write t idx op ~actor ~target ~reg ~value =
     | Ok (), false -> flag t idx op Refmodel.Model_mismatch "machine permitted an MMIO write the mode's policy forbids"
     | Error f, true ->
       flag t idx op Refmodel.Model_mismatch ("machine denied an MMIO write the mode's policy permits: " ^ Machine.fault_to_string f));
+    true
+  | _ -> false
+
+(* ---- virtual functions -------------------------------------------- *)
+
+(* The VF doorbell/ring window mirrors the accelerator-MMIO story: on
+   S-NIC the window page is the tenant's single-owner RAM, on commodity
+   NICs it is NIC-OS BAR space a raw physical access can reach
+   (BlueField additionally marks it secure-world, like its MMIO pages).
+   So the model class is [P_tenant target] on S-NIC and [P_os]
+   elsewhere, and the verdict comes from the same [Refmodel.allows]
+   table every other access uses — VF multiplexing adds no policy. *)
+let vf_window_cls t ~target =
+  if t.mode = Machine.Snic then Refmodel.P_tenant target else Refmodel.P_os
+
+let vf_attach t idx op ~slot ~weight =
+  match t.states.(slot) with
+  | Live u when not (Vf.Table.attached t.vft ~vf:slot) ->
+    (match Vf.Table.attach t.vft ~vf:slot ~nf:u.nf ~weight with
+    | Ok base -> drop_overlapping_ghosts t ~base ~len:Physmem.page_size ~except:(-1)
+    | Error e ->
+      flag t idx op Refmodel.Model_mismatch ("vf attach refused though a window page should fit: " ^ e));
+    true
+  | _ -> false
+
+let vf_detach t _idx _op ~slot =
+  if Vf.Table.attached t.vft ~vf:slot then begin
+    Vf.Table.detach t.vft ~vf:slot;
+    true
+  end
+  else false
+
+let vf_doorbell t idx op ~actor ~target ~value =
+  match (t.states.(actor), t.states.(target)) with
+  | Live ua, Live _ when Vf.Table.attached t.vft ~vf:target ->
+    let base = Option.get (Vf.Table.window_base t.vft ~vf:target) in
+    let cls = vf_window_cls t ~target in
+    check_owner t idx op ~addr:base ~cls;
+    let secure = t.mode = Machine.Bluefield in
+    let allowed = Refmodel.allows ~mode:t.mode ~who:(Refmodel.W_nf actor) ~owner:cls ~secure ~via_tlb:false in
+    (match (Vf.Table.doorbell t.vft ~principal:(Machine.Nf_code ua.nf) ~vf:target ~value, allowed) with
+    | Ok (), true ->
+      if actor <> target then
+        flag t idx op Refmodel.Cross_tenant_write
+          (Printf.sprintf "tenant %d rang tenant %d's VF doorbell" actor target)
+    | Error _, false -> ()
+    | Ok (), false ->
+      flag t idx op Refmodel.Model_mismatch "machine permitted a VF doorbell write the mode's policy forbids"
+    | Error f, true ->
+      flag t idx op Refmodel.Model_mismatch
+        ("machine denied a VF doorbell write the mode's policy permits: " ^ Machine.fault_to_string f));
+    true
+  | _ -> false
+
+let vf_queue_read t idx op ~actor ~target ~alen =
+  match (t.states.(actor), t.states.(target)) with
+  | Live ua, Live _ when Vf.Table.attached t.vft ~vf:target ->
+    let base = Option.get (Vf.Table.window_base t.vft ~vf:target) in
+    let cls = vf_window_cls t ~target in
+    check_owner t idx op ~addr:base ~cls;
+    let secure = t.mode = Machine.Bluefield in
+    let allowed = Refmodel.allows ~mode:t.mode ~who:(Refmodel.W_nf actor) ~owner:cls ~secure ~via_tlb:false in
+    (match (Vf.Table.queue_read t.vft ~principal:(Machine.Nf_code ua.nf) ~vf:target ~len:alen, allowed) with
+    | Ok bytes, true ->
+      (if actor <> target then
+         flag t idx op Refmodel.Cross_tenant_read
+           (Printf.sprintf "tenant %d read %d bytes of tenant %d's VF descriptor ring" actor
+              (String.length bytes) target));
+      (* The ring window content is a pure function of the VF id, so the
+         returned bytes are fully predicted. *)
+      let expected = String.sub (Vf.Table.window_pattern ~vf:target) 8 (String.length bytes) in
+      if not (String.equal bytes expected) then
+        flag t idx op Refmodel.Model_mismatch "VF ring read returned bytes the model did not predict"
+    | Error _, false -> ()
+    | Ok _, false ->
+      flag t idx op Refmodel.Model_mismatch "machine permitted a VF ring read the mode's policy forbids"
+    | Error f, true ->
+      flag t idx op Refmodel.Model_mismatch
+        ("machine denied a VF ring read the mode's policy permits: " ^ Machine.fault_to_string f));
     true
   | _ -> false
 
@@ -557,6 +641,10 @@ let exec t idx op =
   | Op.Stream { slot; src; dst; len } -> stream t idx op ~slot ~src ~dst ~alen:len
     | Op.Inject { target; pad } -> inject t idx op ~target ~pad
     | Op.Attest { slot } -> attest t idx op ~slot
+    | Op.Vf_attach { slot; weight } -> vf_attach t idx op ~slot ~weight
+    | Op.Vf_detach { slot } -> vf_detach t idx op ~slot
+    | Op.Vf_doorbell { actor; target; value } -> vf_doorbell t idx op ~actor ~target ~value
+    | Op.Vf_queue_read { actor; target; len } -> vf_queue_read t idx op ~actor ~target ~alen:len
   end
 
 let step t op =

@@ -13,13 +13,17 @@ type t =
   | Stream of { slot : int; src : int; dst : int; len : int }
   | Inject of { target : int; pad : int }
   | Attest of { slot : int }
+  | Vf_attach of { slot : int; weight : int }
+  | Vf_detach of { slot : int }
+  | Vf_doorbell of { actor : int; target : int; value : int }
+  | Vf_queue_read of { actor : int; target : int; len : int }
 
 let equal (a : t) (b : t) = a = b
 
 (* Weights (per 100): launches and teardowns churn the slot population;
    reads/writes dominate because the §3.3 attack surface is memory
-   accesses; the rest keep DMA, accelerators, packets and attestation in
-   every campaign's mix. *)
+   accesses; the rest keep DMA, accelerators, packets, VF doorbell/ring
+   traffic and attestation in every campaign's mix. *)
 let gen rng ~slots =
   let slot () = Trace.Rng.int rng slots in
   let off () = Trace.Rng.int rng 16384 in
@@ -41,7 +45,7 @@ let gen rng ~slots =
         rules = Trace.Rng.bool rng;
       }
   | n when n < 20 -> Teardown { slot = slot () }
-  | n when n < 50 ->
+  | n when n < 47 ->
     let target = slot () in
     if Trace.Rng.int rng 4 = 0 then begin
       (* Self read through the TLB; one in ten runs past the window. *)
@@ -49,13 +53,13 @@ let gen rng ~slots =
       Read { actor = Slot target; target; space = Virt; off; len = len () }
     end
     else Read { actor = mixed_actor target; target; space = Phys; off = off (); len = len () }
-  | n when n < 70 ->
+  | n when n < 65 ->
     let target = slot () in
     let byte = 1 + Trace.Rng.int rng 255 in
     if Trace.Rng.int rng 4 = 0 then
       Write { actor = Slot target; target; space = Virt; off = off (); len = len (); byte }
     else Write { actor = mixed_actor target; target; space = Phys; off = off (); len = len (); byte }
-  | n when n < 76 ->
+  | n when n < 71 ->
     Mmio_write
       {
         actor = slot ();
@@ -63,7 +67,7 @@ let gen rng ~slots =
         reg = (if Trace.Rng.bool rng then Graph else Iq);
         value = 1 + Trace.Rng.int rng 0xFFFF;
       }
-  | n when n < 84 ->
+  | n when n < 78 ->
     Dma
       {
         actor = slot ();
@@ -72,25 +76,34 @@ let gen rng ~slots =
         off = off ();
         len = len ();
       }
-  | n when n < 90 -> Stream { slot = slot (); src = off (); dst = off (); len = len () }
-  | n when n < 98 -> Inject { target = slot (); pad = Trace.Rng.int rng 48 }
+  | n when n < 83 -> Stream { slot = slot (); src = off (); dst = off (); len = len () }
+  | n when n < 90 -> Inject { target = slot (); pad = Trace.Rng.int rng 48 }
+  | n when n < 93 -> Vf_attach { slot = slot (); weight = 1 + Trace.Rng.int rng 8 }
+  | n when n < 95 -> Vf_detach { slot = slot () }
+  | n when n < 97 -> Vf_doorbell { actor = slot (); target = slot (); value = 1 + Trace.Rng.int rng 0xFFFF }
+  | n when n < 99 -> Vf_queue_read { actor = slot (); target = slot (); len = len () }
   | _ -> Attest { slot = slot () }
 
 let actor_to_string = function Os -> "os" | Slot s -> string_of_int s
 
 let slots_of = function
   | Launch { slot; _ } | Teardown { slot } | Stream { slot; _ } | Attest { slot } -> string_of_int slot
+  | Vf_attach { slot; _ } | Vf_detach { slot } -> string_of_int slot
   | Read { actor; target; _ } | Write { actor; target; _ } ->
     actor_to_string actor ^ ">" ^ string_of_int target
   | Mmio_write { actor; target; _ } | Dma { actor; target; _ } ->
+    string_of_int actor ^ ">" ^ string_of_int target
+  | Vf_doorbell { actor; target; _ } | Vf_queue_read { actor; target; _ } ->
     string_of_int actor ^ ">" ^ string_of_int target
   | Inject { target; _ } -> string_of_int target
 
 let max_slot = function
   | Launch { slot; _ } | Teardown { slot } | Stream { slot; _ } | Attest { slot } -> slot
+  | Vf_attach { slot; _ } | Vf_detach { slot } -> slot
   | Read { actor; target; _ } | Write { actor; target; _ } -> (
     match actor with Slot a -> max a target | Os -> target)
   | Mmio_write { actor; target; _ } | Dma { actor; target; _ } -> max actor target
+  | Vf_doorbell { actor; target; _ } | Vf_queue_read { actor; target; _ } -> max actor target
   | Inject { target; _ } -> target
 
 let space_to_string = function Virt -> "virt" | Phys -> "phys"
@@ -116,6 +129,12 @@ let to_line = function
   | Stream { slot; src; dst; len } -> Printf.sprintf "stream slot=%d src=%d dst=%d len=%d" slot src dst len
   | Inject { target; pad } -> Printf.sprintf "inject target=%d pad=%d" target pad
   | Attest { slot } -> Printf.sprintf "attest slot=%d" slot
+  | Vf_attach { slot; weight } -> Printf.sprintf "vfattach slot=%d weight=%d" slot weight
+  | Vf_detach { slot } -> Printf.sprintf "vfdetach slot=%d" slot
+  | Vf_doorbell { actor; target; value } ->
+    Printf.sprintf "vfdoorbell actor=%d target=%d value=%d" actor target value
+  | Vf_queue_read { actor; target; len } ->
+    Printf.sprintf "vfqread actor=%d target=%d len=%d" actor target len
 
 (* ---- strict line parser ------------------------------------------- *)
 
@@ -255,5 +274,26 @@ let of_line line =
       let* () = exact [ "slot" ] in
       let* slot = int_field fields "slot" in
       Ok (Attest { slot })
+    | "vfattach" ->
+      let* () = exact [ "slot"; "weight" ] in
+      let* slot = int_field fields "slot" in
+      let* weight = int_field fields "weight" in
+      if weight = 0 then Error "field \"weight\" must be positive" else Ok (Vf_attach { slot; weight })
+    | "vfdetach" ->
+      let* () = exact [ "slot" ] in
+      let* slot = int_field fields "slot" in
+      Ok (Vf_detach { slot })
+    | "vfdoorbell" ->
+      let* () = exact [ "actor"; "target"; "value" ] in
+      let* actor = int_field fields "actor" in
+      let* target = int_field fields "target" in
+      let* value = int_field fields "value" in
+      Ok (Vf_doorbell { actor; target; value })
+    | "vfqread" ->
+      let* () = exact [ "actor"; "target"; "len" ] in
+      let* actor = int_field fields "actor" in
+      let* target = int_field fields "target" in
+      let* len = int_field fields "len" in
+      if len = 0 then Error "field \"len\" must be positive" else Ok (Vf_queue_read { actor; target; len })
     | v -> Error (Printf.sprintf "unknown op %S" v)
   end

@@ -64,6 +64,21 @@ type t =
       (** S-NIC: run [nf_attest] for the tenant and check a signature
           comes back. Commodity modes have no attestation instruction
           (skipped). *)
+  | Vf_attach of { slot : int; weight : int }
+      (** Bring up a virtual function for the tenant in [slot]: allocate
+          its doorbell/ring window page (tenant-owned on S-NIC, NIC-OS
+          BAR space on commodity NICs) and register it with the
+          two-stage transmit scheduler at [weight]. *)
+  | Vf_detach of { slot : int }
+      (** Tear the slot's VF down: drop its queued descriptors and free
+          (on S-NIC: scrub, then free) its window page. *)
+  | Vf_doorbell of { actor : int; target : int; value : int }
+      (** Tenant [actor] stores [value] to [target]'s VF doorbell
+          register. [actor <> target] is the cross-VF kick: S-NIC's
+          single-owner RAM refuses it; commodity BARs take it. *)
+  | Vf_queue_read of { actor : int; target : int; len : int }
+      (** Tenant [actor] reads [len] bytes of [target]'s VF
+          descriptor-ring window — the cross-VF snoop probe. *)
 
 (** [gen rng ~slots] draws one op with campaign-tuned weights; every
     field is a function of [rng] draws alone, so a seed reproduces the

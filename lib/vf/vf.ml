@@ -1,0 +1,10 @@
+(* Root of the virtual-function library.
+
+   [Vf.Table] is the SR-IOV-style VF table over one [Nicsim.Machine]:
+   hundreds of tenant vNICs, each with its own doorbell/ring window page,
+   strict per-VF descriptor quotas, and a two-stage weighted transmit
+   scheduler ([Sched.Hier]).  [Vf.Scenario] is the deterministic traffic
+   driver the CLI, bench, and tests share. *)
+
+module Table = Table
+module Scenario = Scenario

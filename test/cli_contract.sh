@@ -31,7 +31,7 @@ check_bad_flag() {
   esac
 }
 
-for sub in fleet chaos trace datapath oracle attacks; do
+for sub in fleet chaos trace datapath oracle vf attacks; do
   check_help "$sub"
   check_bad_flag "$sub"
 done
@@ -57,6 +57,15 @@ set +e
 [ $? -eq 2 ] || fail "'oracle' without --mode should exit 2"
 "$cli" oracle --mode snic --slots 99 > /dev/null 2>&1
 [ $? -eq 2 ] || fail "'oracle --slots 99' should exit 2"
+
+# vf-specific validation: zero NICs, zero VFs and an out-of-range VF
+# count are status-2 errors from our checks, not cmdliner's.
+"$cli" vf --nics 0 > /dev/null 2>&1
+[ $? -eq 2 ] || fail "'vf --nics 0' should exit 2"
+"$cli" vf --vfs 0 > /dev/null 2>&1
+[ $? -eq 2 ] || fail "'vf --vfs 0' should exit 2"
+"$cli" vf --vfs 5000 > /dev/null 2>&1
+[ $? -eq 2 ] || fail "'vf --vfs 5000' should exit 2"
 set -e
 
-echo "cli contract holds (fleet chaos trace datapath oracle attacks)"
+echo "cli contract holds (fleet chaos trace datapath oracle vf attacks)"

@@ -258,8 +258,20 @@ let test_csv_shape () =
       Alcotest.(check int) "8 columns" 8 (List.length (String.split_on_char ',' line)))
     lines
 
+(* The heterogeneous rack cycle is load-bearing: Vfplace and the bench
+   derive per-NIC VF capacity from it, so pin it. *)
+let test_shape_cycle () =
+  let labels = List.init 8 (fun i -> (Fleet.Node.shape_of_index i).Fleet.Node.label) in
+  Alcotest.(check (list string)) "rack cycles small, medium, large, medium"
+    [ "small"; "medium"; "large"; "medium"; "small"; "medium"; "large"; "medium" ]
+    labels;
+  Alcotest.(check int) "small VF slots" 256 Fleet.Node.small.Fleet.Node.vf_slots;
+  Alcotest.(check int) "medium VF slots" 512 Fleet.Node.medium.Fleet.Node.vf_slots;
+  Alcotest.(check int) "large VF slots" 1024 Fleet.Node.large.Fleet.Node.vf_slots
+
 let suite =
   [
+    Alcotest.test_case "shape_of_index rack cycle" `Quick test_shape_cycle;
     Alcotest.test_case "demands follow Table 6 profiles" `Quick test_demands_follow_profiles;
     Alcotest.test_case "small NIC rejects Monitor" `Quick test_small_nic_rejects_monitor;
     Alcotest.test_case "policy names roundtrip" `Quick test_policy_names_roundtrip;

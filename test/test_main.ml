@@ -24,4 +24,5 @@ let () =
       ("chaos", Test_chaos.suite);
       ("obs", Test_obs.suite);
       ("oracle", Test_oracle.suite);
+      ("vf", Test_vf.suite);
     ]

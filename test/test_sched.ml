@@ -154,6 +154,137 @@ let test_pktio_priority_pipeline () =
   end
   | None -> Alcotest.fail "empty ring")
 
+(* ---- two-stage hierarchical scheduler (lib/vf datapath) ----------- *)
+
+let test_hier_basics () =
+  let h = Sched.Hier.create ~quantum:512 () in
+  Alcotest.(check bool) "empty" true (Sched.Hier.is_empty h);
+  Alcotest.(check bool) "dequeue empty" true (Sched.Hier.dequeue h = None);
+  Sched.Hier.set_class h ~cls:1 ~weight:2;
+  Sched.Hier.enqueue h ~cls:1 (meta ~bytes:100 ()) "a";
+  Sched.Hier.enqueue h ~cls:1 (meta ~bytes:100 ()) "b";
+  Sched.Hier.enqueue h ~cls:2 (meta ~bytes:100 ()) "c";
+  Alcotest.(check int) "length" 3 (Sched.Hier.length h);
+  Alcotest.(check int) "class 1 backlog" 2 (Sched.Hier.class_length h ~cls:1);
+  Alcotest.(check int) "class 2 backlog" 1 (Sched.Hier.class_length h ~cls:2);
+  Alcotest.(check (option int)) "weight of 1" (Some 2) (Sched.Hier.weight_of h ~cls:1);
+  (* Within a class, FIFO per the inner DRR's single flow. *)
+  let out = Sched.Hier.drain h in
+  Alcotest.(check int) "drains fully" 3 (List.length out);
+  Alcotest.(check (list string)) "class 1 stays in order" [ "a"; "b" ]
+    (List.filter_map (fun (c, x) -> if c = 1 then Some x else None) out);
+  Alcotest.check_raises "bad quantum" (Invalid_argument "Sched.Hier.create: quantum must be positive")
+    (fun () -> ignore (Sched.Hier.create ~quantum:0 ()));
+  Alcotest.check_raises "bad weight" (Invalid_argument "Sched.Hier.set_class: weight must be >= 1")
+    (fun () -> Sched.Hier.set_class h ~cls:9 ~weight:0)
+
+let test_hier_remove_class () =
+  let h = Sched.Hier.create ~quantum:512 () in
+  List.iter (fun (c, x) -> Sched.Hier.enqueue h ~cls:c (meta ~bytes:50 ()) x)
+    [ (1, "a"); (2, "b"); (1, "c"); (3, "d") ];
+  let dropped = Sched.Hier.remove_class h ~cls:1 in
+  Alcotest.(check (list string)) "dropped in order" [ "a"; "c" ] dropped;
+  Alcotest.(check int) "two left" 2 (Sched.Hier.length h);
+  let out = List.map snd (Sched.Hier.drain h) in
+  Alcotest.(check (list string)) "others keep rotation order" [ "b"; "d" ] out;
+  Alcotest.(check (list string)) "removing absent class" [] (Sched.Hier.remove_class h ~cls:42)
+
+let test_hier_iter_rotation_order () =
+  let h = Sched.Hier.create ~quantum:512 () in
+  (* Classes appear in enqueue order 5, 2, 9; within a class, FIFO. *)
+  List.iter (fun (c, x) -> Sched.Hier.enqueue h ~cls:c (meta ~bytes:50 ()) x)
+    [ (5, 0); (2, 1); (9, 2); (5, 3); (2, 4) ];
+  let order = ref [] in
+  Sched.Hier.iter (fun _ x -> order := x :: !order) h;
+  Alcotest.(check (list int)) "rotation order: class 5, then 2, then 9" [ 0; 3; 1; 4; 2 ] (List.rev !order)
+
+(* Work-conservation: whatever goes in comes out, exactly once, across
+   random classes, weights and sizes. *)
+let prop_hier_conserves =
+  QCheck.Test.make ~name:"hier scheduler neither loses nor duplicates packets" ~count:100
+    (QCheck.list_of_size (QCheck.Gen.int_range 0 80)
+       (QCheck.triple (QCheck.int_bound 7) (QCheck.int_range 1 1500) (QCheck.int_bound 1000)))
+    (fun items ->
+      let h = Sched.Hier.create ~quantum:700 () in
+      List.iteri
+        (fun i (cls, bytes, x) ->
+          if i mod 9 = 0 then Sched.Hier.set_class h ~cls ~weight:(1 + (i mod 8));
+          Sched.Hier.enqueue h ~cls (meta ~flow:(x mod 3) ~bytes ()) x)
+        items;
+      let out = List.map snd (Sched.Hier.drain h) in
+      Sched.Hier.is_empty h
+      && List.sort compare out = List.sort compare (List.map (fun (_, _, x) -> x) items))
+
+(* Weighted-share convergence: backlogged classes split served bytes in
+   proportion to their weights, within 5%. *)
+let prop_hier_weighted_shares =
+  QCheck.Test.make ~name:"hier byte shares converge to weights (<=5% error)" ~count:30
+    (QCheck.list_of_size (QCheck.Gen.int_range 2 6) (QCheck.int_range 1 8))
+    (fun weights ->
+      let quantum = 800 and pkt = 100 and cycles = 50 in
+      let h = Sched.Hier.create ~quantum () in
+      let n = List.length weights in
+      let total_w = List.fold_left ( + ) 0 weights in
+      (* Enough backlog that nobody runs dry inside the budget. *)
+      let per_class w = ((cycles + 2) * quantum * w / pkt) + 16 in
+      List.iteri
+        (fun cls w ->
+          Sched.Hier.set_class h ~cls ~weight:w;
+          for i = 0 to per_class w - 1 do
+            Sched.Hier.enqueue h ~cls (meta ~flow:(i mod 4) ~bytes:pkt ()) i
+          done)
+        weights;
+      let budget = cycles * quantum * total_w in
+      let served = Array.make n 0 in
+      let spent = ref 0 in
+      while !spent < budget do
+        match Sched.Hier.dequeue h with
+        | None -> QCheck.Test.fail_report "ran dry inside the budget"
+        | Some (cls, _) ->
+          served.(cls) <- served.(cls) + pkt;
+          spent := !spent + pkt
+      done;
+      List.for_all2
+        (fun cls w ->
+          let share = float_of_int served.(cls) /. float_of_int !spent in
+          let expect = float_of_int w /. float_of_int total_w in
+          Float.abs (share -. expect) /. expect <= 0.05)
+        (List.init n (fun i -> i))
+        weights)
+
+(* Starvation-freedom: one class with a huge backlog of big packets and
+   maximum weight cannot shut out weight-1 classes. *)
+let prop_hier_no_starvation =
+  QCheck.Test.make ~name:"hier never starves a backlogged class" ~count:30
+    (QCheck.int_range 2 6)
+    (fun n ->
+      let quantum = 800 in
+      let h = Sched.Hier.create ~quantum () in
+      (* Class 0 is the saturating tenant: weight 8, 1500-byte frames. *)
+      Sched.Hier.set_class h ~cls:0 ~weight:8;
+      for i = 0 to 999 do
+        Sched.Hier.enqueue h ~cls:0 (meta ~bytes:1500 ()) i
+      done;
+      for cls = 1 to n do
+        Sched.Hier.set_class h ~cls ~weight:1;
+        for i = 0 to 63 do
+          Sched.Hier.enqueue h ~cls (meta ~bytes:100 ()) i
+        done
+      done;
+      (* Serve three full rotations' worth of bytes... *)
+      let budget = 3 * quantum * (8 + n) in
+      let served = Array.make (n + 1) 0 in
+      let spent = ref 0 in
+      while !spent < budget do
+        match Sched.Hier.dequeue h with
+        | None -> QCheck.Test.fail_report "ran dry"
+        | Some (cls, _) ->
+          served.(cls) <- served.(cls) + 1;
+          spent := !spent + (if cls = 0 then 1500 else 100)
+      done;
+      (* ...and every weight-1 class must have been served meanwhile. *)
+      List.for_all (fun cls -> served.(cls) > 0) (List.init n (fun i -> i + 1)))
+
 let suite =
   [
     Alcotest.test_case "fifo order" `Quick test_fifo_order;
@@ -167,4 +298,10 @@ let suite =
     Alcotest.test_case "drr iter rotation order" `Quick test_drr_iter_rotation_order;
     QCheck_alcotest.to_alcotest prop_all_policies_conserve;
     Alcotest.test_case "priority pipeline end-to-end" `Quick test_pktio_priority_pipeline;
+    Alcotest.test_case "hier basics" `Quick test_hier_basics;
+    Alcotest.test_case "hier remove class" `Quick test_hier_remove_class;
+    Alcotest.test_case "hier iter rotation order" `Quick test_hier_iter_rotation_order;
+    QCheck_alcotest.to_alcotest prop_hier_conserves;
+    QCheck_alcotest.to_alcotest prop_hier_weighted_shares;
+    QCheck_alcotest.to_alcotest prop_hier_no_starvation;
   ]
