@@ -952,6 +952,8 @@ let check_tolerance = 0.25
 let dma_speedup_floor = 10.
 let vf_jain_floor = 0.95
 let vf_err_ceiling_pct = 5.
+let qos_share_floor = 0.9
+let qos_victim_p99_ceiling = 2000.
 
 let section_ran name = only = None || only = Some name
 
@@ -989,6 +991,22 @@ let run_check () =
          fail "vf.max_share_err_pct: %.2f%% is above the %.0f%% ceiling" e vf_err_ceiling_pct
        | Some _ -> ()
        | None -> fail "vf.max_share_err_pct: missing from this run"
+     end);
+    (if section_ran "qos" then begin
+       (match List.assoc_opt "qos.share_min" current with
+       | Some s when s < qos_share_floor ->
+         fail "qos.share_min: %.4f is below the %.2f guaranteed-share floor" s qos_share_floor
+       | Some _ -> ()
+       | None -> fail "qos.share_min: missing from this run");
+       (match List.assoc_opt "qos.victim_p99_steady_cycles" current with
+       | Some p when p > qos_victim_p99_ceiling ->
+         fail "qos.victim_p99_steady_cycles: %.0f is above the %.0f-cycle SLO ceiling" p qos_victim_p99_ceiling
+       | Some _ -> ()
+       | None -> fail "qos.victim_p99_steady_cycles: missing from this run");
+       match List.assoc_opt "qos.starved_victims" current with
+       | Some s when s > 0. -> fail "qos.starved_victims: %.0f victims starved (must be 0)" s
+       | Some _ -> ()
+       | None -> fail "qos.starved_victims: missing from this run"
      end);
     if !failures = [] then
       Printf.printf "\nbench --check: %d baseline metrics within %.0f%%, absolute floors met\n"
@@ -1077,6 +1095,11 @@ let vf_section () =
   let max_err =
     List.fold_left (fun a (r : Vf.Scenario.nic_result) -> Float.max a r.report.Obs.Fairness.max_rel_err) 0. results
   in
+  let lat_jain_min =
+    List.fold_left
+      (fun a (r : Vf.Scenario.nic_result) -> Float.min a r.lat_report.Obs.Fairness.index)
+      infinity results
+  in
   let pps = if secs > 0. then float_of_int pkts /. secs else 0. in
   (match results with
   | first :: _ -> Printf.printf "first NIC: %s\n" (Vf.Scenario.nic_summary first)
@@ -1093,8 +1116,52 @@ let vf_section () =
   m "drops" (float_of_int drops);
   m "jain_min" jain_min;
   m "max_share_err_pct" (100. *. max_err);
+  m "lat_jain_min" lat_jain_min;
   m "sched_pps" pps;
   print_endline "expectation: shares track weights within 5% on every NIC (jain >= 0.95), zero drops"
+
+(* ------------------------------------------------------------------ *)
+(* QoS: noisy-neighbor protection and self-healing under credit arbitration *)
+
+let qos_section () =
+  header "QoS credits (lib/nicsim/qos): noisy neighbor vs latency SLOs";
+  let t0 = Sys.time () in
+  let r, _sup = Fleet.Chaos.run_qos Fleet.Chaos.default_qos_config in
+  let secs = Sys.time () -. t0 in
+  let c = Fleet.Chaos.cycles_str in
+  Printf.printf "protected run: victim p99 %s (steady %s), unprotected baseline p99 %s\n"
+    (c r.Fleet.Chaos.q_victim_p99) (c r.Fleet.Chaos.q_victim_p99_steady) (c r.Fleet.Chaos.q_unprotected_p99);
+  Printf.printf "self-healing: %d quarantine(s), %d readmission(s), aggressor throttled %d times\n"
+    r.Fleet.Chaos.q_quarantines r.Fleet.Chaos.q_readmissions r.Fleet.Chaos.q_aggressor_throttles;
+  Printf.printf "fairness: share_min %.4f, starved %d, latency jain %.4f (%.2fs)\n" r.Fleet.Chaos.q_share_min
+    r.Fleet.Chaos.q_starved r.Fleet.Chaos.q_lat_fairness.Obs.Fairness.index secs;
+  let m name v = metric ("qos." ^ name) v in
+  let mq name v = match v with None -> () | Some v -> m name v in
+  mq "victim_p99_cycles" r.Fleet.Chaos.q_victim_p99;
+  mq "victim_p99_steady_cycles" r.Fleet.Chaos.q_victim_p99_steady;
+  mq "unprotected_p99_cycles" r.Fleet.Chaos.q_unprotected_p99;
+  (match (r.Fleet.Chaos.q_victim_p99_steady, r.Fleet.Chaos.q_unprotected_p99) with
+  | Some p, Some u when p > 0. -> m "protection_x" (u /. p)
+  | _ -> ());
+  m "share_min" r.Fleet.Chaos.q_share_min;
+  m "starved_victims" (float_of_int r.Fleet.Chaos.q_starved);
+  m "quarantines" (float_of_int r.Fleet.Chaos.q_quarantines);
+  m "readmissions" (float_of_int r.Fleet.Chaos.q_readmissions);
+  m "aggressor_throttles" (float_of_int r.Fleet.Chaos.q_aggressor_throttles);
+  m "slo_violations" (float_of_int r.Fleet.Chaos.q_slo_violations);
+  m "lat_jain" r.Fleet.Chaos.q_lat_fairness.Obs.Fairness.index;
+  (* Zero-slack variant: capacity = sum of guarantees, so every spare
+     credit a victim gets comes from the epoch-rollover donation path.
+     Nothing may starve even with no structural headroom. *)
+  let rs, _ = Fleet.Chaos.run_qos { Fleet.Chaos.default_qos_config with Fleet.Chaos.q_starve = true } in
+  Printf.printf "zero-slack variant: share_min %.4f, starved %d, borrowed %d credits\n"
+    rs.Fleet.Chaos.q_share_min rs.Fleet.Chaos.q_starved
+    (List.fold_left (fun a (t : Fleet.Chaos.qos_tenant) -> a + t.Fleet.Chaos.qt_borrowed) 0
+       rs.Fleet.Chaos.q_outcomes);
+  m "starve.share_min" rs.Fleet.Chaos.q_share_min;
+  m "starve.starved_victims" (float_of_int rs.Fleet.Chaos.q_starved);
+  print_endline
+    "expectation: steady-state victim p99 back under the 2k-cycle SLO, share_min >= 0.9, zero starvation"
 
 let main () =
   print_endline "S-NIC evaluation reproduction (EuroSys'24) — all tables and figures";
@@ -1129,6 +1196,7 @@ let main () =
   datapath_section ();
   oracle_section ();
   vf_section ();
+  qos_section ();
   microbenches ();
   write_metrics ();
   run_check ();
@@ -1150,7 +1218,14 @@ let () =
     vf_section ();
     write_metrics ();
     run_check ()
+  | Some "qos" ->
+    print_endline "S-NIC QoS bench (credit arbitration, SLOs, noisy-neighbor self-healing)";
+    qos_section ();
+    write_metrics ();
+    run_check ()
   | Some other ->
-    Printf.eprintf "unknown --only section: %s (known: datapath, oracle, vf)\n" other;
-    exit 2
+    Printf.eprintf "unknown --only section: %s\n" other;
+    Printf.eprintf "Usage: bench [--fast] [--only SECTION] [--json PATH] [--check BASELINE]\n";
+    Printf.eprintf "  valid sections: datapath, oracle, vf, qos\n";
+    exit 124
   | None -> main ()

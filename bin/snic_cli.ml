@@ -517,6 +517,67 @@ let vf_cmd =
        ~doc:"SR-IOV virtual functions: saturate every VF and check the two-stage scheduler's weighted fairness")
     Term.(const run $ seed_arg $ nics $ vfs $ cycles $ quantum $ min_jain $ max_err $ shares)
 
+let qos_cmd =
+  let tenants = Arg.(value & opt int 8 & info [ "tenants" ] ~docv:"N" ~doc:"Tenants (tenant 0 is the aggressor)") in
+  let rounds = Arg.(value & opt int 8 & info [ "rounds" ] ~docv:"R" ~doc:"Traffic rounds") in
+  let requests = Arg.(value & opt int 40 & info [ "requests" ] ~docv:"K" ~doc:"Victim requests per tenant per round") in
+  let factor = Arg.(value & opt int 8 & info [ "factor" ] ~docv:"X" ~doc:"Aggressor load multiplier") in
+  let slo = Arg.(value & opt int 2000 & info [ "slo" ] ~docv:"CYCLES" ~doc:"Victim latency SLO in cycles") in
+  let starve = Arg.(value & flag & info [ "starve" ] ~doc:"Starvation variant: zero structural slack (capacity = sum of guarantees)") in
+  let min_share =
+    Arg.(value & opt float 0.9
+         & info [ "min-share" ] ~docv:"F" ~doc:"Exit 1 if any victim keeps less than $(docv) of its guaranteed share")
+  in
+  let max_p99 =
+    Arg.(value & opt (some float) None
+         & info [ "max-victim-p99" ] ~docv:"CYCLES"
+             ~doc:"Exit 1 if steady-state victim p99 exceeds $(docv) (default: the SLO)")
+  in
+  let run seed tenants rounds requests factor slo starve min_share max_p99 =
+    let fail msg =
+      prerr_endline msg;
+      exit 2
+    in
+    if tenants < 2 then fail "qos: --tenants must be >= 2";
+    if rounds < 1 then fail "qos: --rounds must be >= 1";
+    if requests < 4 then fail "qos: --requests must be >= 4";
+    if factor < 1 then fail "qos: --factor must be >= 1";
+    if slo < 1 then fail "qos: --slo must be >= 1";
+    let config =
+      {
+        Fleet.Chaos.default_qos_config with
+        Fleet.Chaos.q_seed = Option.value seed ~default:Fleet.Chaos.default_qos_config.Fleet.Chaos.q_seed;
+        q_tenants = tenants;
+        q_rounds = rounds;
+        q_requests = requests;
+        q_factor = factor;
+        q_slo = slo;
+        q_starve = starve;
+      }
+    in
+    let report, _sup = Fleet.Chaos.run_qos config in
+    print_string (Fleet.Chaos.qos_summary report);
+    if report.Fleet.Chaos.q_starved > 0 then begin
+      Printf.eprintf "qos: FAIL %d victim(s) starved (zero grants)\n" report.Fleet.Chaos.q_starved;
+      exit 1
+    end;
+    if report.Fleet.Chaos.q_share_min < min_share then begin
+      Printf.eprintf "qos: FAIL guaranteed share %.4f below floor %.4f\n" report.Fleet.Chaos.q_share_min
+        min_share;
+      exit 1
+    end;
+    let ceiling = Option.value max_p99 ~default:(float_of_int slo) in
+    match report.Fleet.Chaos.q_victim_p99_steady with
+    | Some p99 when p99 > ceiling ->
+      Printf.eprintf "qos: FAIL steady-state victim p99 %.0f above ceiling %.0f cycles\n" p99 ceiling;
+      exit 1
+    | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "qos"
+       ~doc:"Per-tenant performance isolation: QoS credits on the shared fabric, latency SLOs and noisy-neighbor quarantine")
+    Term.(const run $ seed_arg $ tenants $ rounds $ requests $ factor $ slo $ starve $ min_share $ max_p99)
+
 let trace_cmd =
   let scenario =
     Arg.(value & pos 0 (enum [ ("chaos", `Chaos); ("fleet", `Fleet) ]) `Chaos
@@ -586,5 +647,5 @@ let () =
           [
             attacks_cmd; dos_cmd; covert_cmd; probe_cmd; tco_cmd; overhead_cmd; tlb_cmd; pack_cmd; table6_cmd;
             ipc_cmd; dpi_cmd; fig5_cmd; fig8_cmd; timeline_cmd; fleet_cmd; chaos_cmd; datapath_cmd; oracle_cmd;
-            vf_cmd; trace_cmd;
+            vf_cmd; qos_cmd; trace_cmd;
           ]))

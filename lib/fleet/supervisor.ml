@@ -11,6 +11,8 @@ type config = {
   watchdog_budget : int;
   scrub_cost : int;
   attest_cost : int;
+  slo_bad_share : float;
+  slo_patience : int;
 }
 
 let default_config =
@@ -27,11 +29,20 @@ let default_config =
     watchdog_budget = 50_000_000;
     scrub_cost = 120_000;
     attest_cost = 600_000;
+    (* Half a round's requests blowing their SLO marks the round bad;
+       two bad rounds in a row is "sustained", not a blip. *)
+    slo_bad_share = 0.5;
+    slo_patience = 2;
   }
 
 type breaker = Closed | Open of { until_round : int } | Probation of { until_round : int }
 
 type nic_state = { mutable score : int; mutable breaker : breaker; mutable trips : int; mutable last_faults : int }
+
+(* Per-tenant breaker, driven by SLO telemetry rather than device
+   faults: [bad_rounds] counts consecutive rounds in which too many of
+   the tenant's requests blew their SLO. *)
+type tenant_state = { mutable t_breaker : breaker; mutable t_trips : int; mutable bad_rounds : int }
 
 type t = {
   config : config;
@@ -44,6 +55,7 @@ type t = {
   recovery_hist : Obs.Metrics.histogram; (* same samples, in the shared registry *)
   mutable alarms : int; (* No_capacity placements — retrying cannot help *)
   mutable scrub_failures : int;
+  tenant_states : (int, tenant_state) Hashtbl.t; (* tenant id -> SLO breaker *)
 }
 
 let create ~seed orch config =
@@ -64,6 +76,7 @@ let create ~seed orch config =
         "fleet_recovery_ms";
     alarms = 0;
     scrub_failures = 0;
+    tenant_states = Hashtbl.create 64;
   }
 
 let clock t = t.clock
@@ -71,6 +84,18 @@ let alarms t = t.alarms
 let scrub_failures t = t.scrub_failures
 let health t ~nic = t.nics.(nic).score
 let breaker t ~nic = t.nics.(nic).breaker
+
+let tenant_state t tid =
+  match Hashtbl.find_opt t.tenant_states tid with
+  | Some s -> s
+  | None ->
+    let s = { t_breaker = Closed; t_trips = 0; bad_rounds = 0 } in
+    Hashtbl.replace t.tenant_states tid s;
+    s
+
+let tenant_breaker t ~tenant = (tenant_state t tenant).t_breaker
+let tenant_quarantined t ~tenant =
+  match (tenant_state t tenant).t_breaker with Open _ -> true | Closed | Probation _ -> false
 
 let cycles_per_ms = 1_200_000. (* 1.2 GHz cores *)
 let recovery_samples_ms t = List.rev_map (fun c -> float_of_int c /. cycles_per_ms) t.recovery_cycles
@@ -138,6 +163,88 @@ let destroy_verified t node (tenant : Orchestrator.tenant) =
     | Error _ -> t.scrub_failures <- t.scrub_failures + 1);
     t.clock <- t.clock + t.config.scrub_cost;
     note_evict t tenant
+
+(* ---- per-tenant SLO supervision --------------------------------- *)
+
+type qos_round = { violations : int; samples : int; over_credits : int }
+
+(* Drain the noisy tenant's NFs — verified scrub, eviction — and open
+   its breaker.  Unlike a NIC trip, the hosting NICs stay in service:
+   the health signal names a tenant, so the quarantine does too. *)
+let trip_tenant t ~round tid =
+  let st = tenant_state t tid in
+  let window = t.config.probation_rounds * (1 lsl min st.t_trips 4) in
+  st.t_trips <- st.t_trips + 1;
+  st.bad_rounds <- 0;
+  st.t_breaker <- Open { until_round = round + window };
+  Telemetry.tenant_quarantine (Orchestrator.telemetry t.orch);
+  Array.iter
+    (fun (tn : Orchestrator.tenant) ->
+      if tn.Orchestrator.tid = tid then
+        match tn.Orchestrator.placement with
+        | Some p -> destroy_verified t p.Orchestrator.node tn
+        | None -> ())
+    (Orchestrator.tenants t.orch)
+
+(* One SLO supervision pass: [stats] carries each tenant's round deltas
+   (SLO violations, latency samples, credits consumed beyond its
+   guarantee).  Sustained violation by any tenant is the health signal;
+   the breaker then quarantines the *noisy* tenant — the one burning
+   the most over-guarantee credit — not the NIC hosting the victim. *)
+let note_qos t ~round stats =
+  let tel = Orchestrator.telemetry t.orch in
+  (* Breaker transitions first: quarantine windows expire into
+     probation (re-place on readmission), probation expires closed. *)
+  Hashtbl.iter
+    (fun tid st ->
+      match st.t_breaker with
+      | Open { until_round } when round >= until_round ->
+        st.t_breaker <- Probation { until_round = round + t.config.probation_rounds };
+        Telemetry.tenant_readmission tel;
+        Array.iter
+          (fun (tn : Orchestrator.tenant) ->
+            if tn.Orchestrator.tid = tid && tn.Orchestrator.placement = None then
+              ignore (place_with_retry t tn))
+          (Orchestrator.tenants t.orch)
+      | Probation { until_round } when round >= until_round -> st.t_breaker <- Closed
+      | _ -> ())
+    t.tenant_states;
+  (* Score the round. *)
+  let sustained = ref false in
+  List.iter
+    (fun (tid, q) ->
+      Telemetry.add_slo_violations tel q.violations;
+      let st = tenant_state t tid in
+      if not (tenant_quarantined t ~tenant:tid) then begin
+        let bad =
+          q.samples > 0 && float_of_int q.violations /. float_of_int q.samples > t.config.slo_bad_share
+        in
+        if bad then st.bad_rounds <- st.bad_rounds + 1 else st.bad_rounds <- 0;
+        if st.bad_rounds >= t.config.slo_patience then sustained := true
+      end)
+    stats;
+  (* Attribute and intervene: the noisy tenant is the top over-guarantee
+     consumer this round (ties to the lowest id).  No over-user means
+     nobody to blame — leave the breakers alone. *)
+  if !sustained then begin
+    let noisy =
+      List.fold_left
+        (fun acc (tid, q) ->
+          if q.over_credits <= 0 || tenant_quarantined t ~tenant:tid then acc
+          else
+            match acc with
+            | Some (_, best) when best >= q.over_credits -> acc
+            | _ -> Some (tid, q.over_credits))
+        None stats
+    in
+    match noisy with
+    | Some (tid, _) ->
+      trip_tenant t ~round tid;
+      (* The intervention changes the contention picture; restart every
+         streak so probation relapses are judged on fresh evidence. *)
+      Hashtbl.iter (fun _ st -> st.bad_rounds <- 0) t.tenant_states
+    | None -> ()
+  end
 
 (* Circuit breaker trip: quarantine the NIC and drain it in an orderly
    fashion — every hosted NF is destroyed (scrub verified) and its tenant
@@ -252,8 +359,10 @@ let tick t ~round =
       end)
     (Orchestrator.nodes t.orch);
   watchdog t;
-  (* Re-place every stranded tenant (bounded retry each). *)
+  (* Re-place every stranded tenant (bounded retry each) — except the
+     quarantined ones, which stay drained until their window expires. *)
   Array.iter
     (fun (tn : Orchestrator.tenant) ->
-      if tn.Orchestrator.placement = None then ignore (place_with_retry t tn))
+      if tn.Orchestrator.placement = None && not (tenant_quarantined t ~tenant:tn.Orchestrator.tid)
+      then ignore (place_with_retry t tn))
     (Orchestrator.tenants t.orch)

@@ -25,6 +25,8 @@ type config = {
   watchdog_budget : int; (* cycles an accelerator canary may take *)
   scrub_cost : int; (* cycles charged per verified teardown scrub *)
   attest_cost : int; (* cycles charged per successful stage + attest *)
+  slo_bad_share : float; (* violation fraction that marks a tenant's round bad *)
+  slo_patience : int; (* consecutive bad rounds = "sustained" violation *)
 }
 
 val default_config : config
@@ -56,6 +58,38 @@ val health : t -> nic:int -> int
 
 (** Current circuit-breaker state of a NIC. *)
 val breaker : t -> nic:int -> breaker
+
+(** {2 Per-tenant SLO supervision}
+
+    Sustained SLO violation is a health signal like any other — but the
+    faulty unit is a {e tenant}, not a NIC: one noisy neighbor
+    over-consuming shared credit degrades its victims' tails while
+    every NIC stays healthy.  {!note_qos} therefore drives a
+    per-tenant instance of the same breaker state machine, and a trip
+    quarantines the {e noisy tenant's} NFs (drain with verified scrubs,
+    re-place on probation) instead of the hosting NIC. *)
+
+(** One tenant's round deltas, reported from a {!Nicsim.Qos} arbiter:
+    SLO violations and latency samples this round, plus the credits it
+    consumed beyond its guarantee (the noisiness signal used for
+    attribution when a victim's violation is sustained). *)
+type qos_round = { violations : int; samples : int; over_credits : int }
+
+(** [note_qos t ~round stats] — one SLO supervision pass over per-tenant
+    round deltas.  Expires quarantine windows into probation (re-placing
+    the drained tenant), closes clean probations, scores each tenant's
+    round against [slo_bad_share], and on a sustained violation
+    ([slo_patience] consecutive bad rounds) trips the breaker of the
+    top over-guarantee consumer — windows double per re-trip exactly
+    like the NIC breaker. *)
+val note_qos : t -> round:int -> (int * qos_round) list -> unit
+
+(** Current breaker state of a tenant ([Closed] if never reported). *)
+val tenant_breaker : t -> tenant:int -> breaker
+
+(** True while the tenant's breaker is [Open] — {!tick} will not
+    re-place its NFs. *)
+val tenant_quarantined : t -> tenant:int -> bool
 
 (** [place_with_retry t tenant] — {!Orchestrator.replace} under bounded
     retry: transient failures (stage faults, attestation rejections)

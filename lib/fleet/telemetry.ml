@@ -35,6 +35,9 @@ type t = {
   watchdog_failovers : Obs.Metrics.counter;
   health_probes : Obs.Metrics.counter;
   probe_failures : Obs.Metrics.counter;
+  tenant_quarantines : Obs.Metrics.counter;
+  tenant_readmissions : Obs.Metrics.counter;
+  slo_violations : Obs.Metrics.counter;
 }
 
 let create ?registry () =
@@ -56,6 +59,9 @@ let create ?registry () =
     watchdog_failovers = c "fleet_watchdog_failovers_total" "accelerator watchdog failovers";
     health_probes = c "fleet_health_probes_total" "active health probes issued";
     probe_failures = c "fleet_probe_failures_total" "active health probes that failed";
+    tenant_quarantines = c "fleet_tenant_quarantines_total" "noisy tenants drained on sustained SLO violation";
+    tenant_readmissions = c "fleet_tenant_readmissions_total" "quarantined tenants readmitted on probation";
+    slo_violations = c "fleet_slo_violations_total" "per-round tenant SLO violations reported to the supervisor";
   }
 
 let registry t = t.registry
@@ -88,6 +94,9 @@ let readmission t = Obs.Metrics.incr t.readmissions
 let watchdog_failover t = Obs.Metrics.incr t.watchdog_failovers
 let health_probe t = Obs.Metrics.incr t.health_probes
 let probe_failure t = Obs.Metrics.incr t.probe_failures
+let tenant_quarantine t = Obs.Metrics.incr t.tenant_quarantines
+let tenant_readmission t = Obs.Metrics.incr t.tenant_readmissions
+let add_slo_violations t n = Obs.Metrics.add t.slo_violations n
 let placement_failures t = Obs.Metrics.value t.placement_failures
 let replacements t = Obs.Metrics.value t.replacements
 let nic_kills t = Obs.Metrics.value t.nic_kills
@@ -99,6 +108,9 @@ let readmissions t = Obs.Metrics.value t.readmissions
 let watchdog_failovers t = Obs.Metrics.value t.watchdog_failovers
 let health_probes t = Obs.Metrics.value t.health_probes
 let probe_failures t = Obs.Metrics.value t.probe_failures
+let tenant_quarantines t = Obs.Metrics.value t.tenant_quarantines
+let tenant_readmissions t = Obs.Metrics.value t.tenant_readmissions
+let slo_violations t = Obs.Metrics.value t.slo_violations
 
 let sum_tenants t f = Hashtbl.fold (fun _ s acc -> acc + f s) t.tenants 0
 let total_attests t = sum_tenants t (fun s -> s.placements)

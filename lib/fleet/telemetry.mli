@@ -67,6 +67,17 @@ val watchdog_failover : t -> unit
 val health_probe : t -> unit
 val probe_failure : t -> unit
 
+(** {2 Performance-isolation counters (QoS / SLO supervision)} *)
+
+val tenant_quarantine : t -> unit
+(** A noisy tenant's NFs were drained on sustained SLO violation. *)
+
+val tenant_readmission : t -> unit
+(** A quarantined tenant was re-placed on probation. *)
+
+val add_slo_violations : t -> int -> unit
+(** Accumulate one round's tenant SLO violations. *)
+
 val placement_failures : t -> int
 val replacements : t -> int
 val nic_kills : t -> int
@@ -78,6 +89,9 @@ val readmissions : t -> int
 val watchdog_failovers : t -> int
 val health_probes : t -> int
 val probe_failures : t -> int
+val tenant_quarantines : t -> int
+val tenant_readmissions : t -> int
+val slo_violations : t -> int
 
 val total_attests : t -> int
 val total_forwarded : t -> int

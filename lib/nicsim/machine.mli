@@ -70,6 +70,16 @@ val sink : t -> Obs.sink
 (** Track number of the control-plane (API) span lane. *)
 val track_ctrl : int
 
+(** [set_qos t q] attaches a per-tenant credit arbiter (see {!Qos}) to
+    this NIC and routes it to the machine's sink on the QoS tracks.
+    Opt-in: the bare machine never consults it — fleets and scenarios
+    route tenant traffic through the [Qos] fronting wrappers, so the
+    security-isolation semantics of the raw device API are unchanged. *)
+val set_qos : t -> Qos.t -> unit
+
+val qos : t -> Qos.t option
+(** The attached arbiter, if any. *)
+
 val mode : t -> mode
 val mem : t -> Physmem.t
 val cores : t -> int

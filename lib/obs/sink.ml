@@ -3,7 +3,7 @@
    Hot-path counters live in a flat array indexed by the stat tag so a
    recording bump is an array increment, not a hash lookup. *)
 
-type cat = Tlb | Cache | Bus | Dma | Accel | Sched | Pktio | Ctrl | Fleet
+type cat = Tlb | Cache | Bus | Dma | Accel | Sched | Pktio | Ctrl | Fleet | Qos
 
 let cat_name = function
   | Tlb -> "tlb"
@@ -15,6 +15,7 @@ let cat_name = function
   | Pktio -> "pktio"
   | Ctrl -> "ctrl"
   | Fleet -> "fleet"
+  | Qos -> "qos"
 
 type phase = Span_begin | Span_end | Instant
 
@@ -50,6 +51,10 @@ type stat =
   | Vf_rx
   | Vf_drop
   | Vf_doorbell
+  | Qos_grant
+  | Qos_throttle
+  | Qos_borrow
+  | Slo_violation
 
 let stat_index = function
   | Tlb_hit -> 0
@@ -73,8 +78,12 @@ let stat_index = function
   | Vf_rx -> 18
   | Vf_drop -> 19
   | Vf_doorbell -> 20
+  | Qos_grant -> 21
+  | Qos_throttle -> 22
+  | Qos_borrow -> 23
+  | Slo_violation -> 24
 
-let n_stats = 21
+let n_stats = 25
 
 let stat_name = function
   | Tlb_hit -> "snic_tlb_hit_total"
@@ -98,12 +107,17 @@ let stat_name = function
   | Vf_rx -> "snic_vf_rx_total"
   | Vf_drop -> "snic_vf_drop_total"
   | Vf_doorbell -> "snic_vf_doorbell_total"
+  | Qos_grant -> "snic_qos_grant_total"
+  | Qos_throttle -> "snic_qos_throttle_total"
+  | Qos_borrow -> "snic_qos_borrow_total"
+  | Slo_violation -> "snic_qos_slo_violation_total"
 
 let all_stats =
   [
     Tlb_hit; Tlb_miss; Cache_hit; Cache_miss; Cache_evict; Cache_fill; Bus_grant; Bus_stall;
     Dma_start; Dma_complete; Dma_fault; Accel_dispatch; Accel_retire; Sched_switch; Pktio_rx;
-    Pktio_tx; Pktio_drop; Vf_tx; Vf_rx; Vf_drop; Vf_doorbell;
+    Pktio_tx; Pktio_drop; Vf_tx; Vf_rx; Vf_drop; Vf_doorbell; Qos_grant; Qos_throttle; Qos_borrow;
+    Slo_violation;
   ]
 
 type recorder = {

@@ -29,6 +29,7 @@ type cat =
   | Pktio
   | Ctrl  (** control-plane API calls: nf_create / nf_destroy *)
   | Fleet  (** orchestrator / supervisor actions *)
+  | Qos  (** per-tenant credit arbiter: grants, throttles, SLO *)
 
 val cat_name : cat -> string
 (** Lower-case category label used in exporters (e.g. ["tlb"]). *)
@@ -73,6 +74,10 @@ type stat =
   | Vf_rx
   | Vf_drop
   | Vf_doorbell
+  | Qos_grant
+  | Qos_throttle
+  | Qos_borrow
+  | Slo_violation
 
 val stat_name : stat -> string
 (** Registry name of a hot-path counter, e.g. ["snic_tlb_hit_total"]. *)

@@ -26,6 +26,9 @@ type t = {
   machine : Machine.t;
   insns : Snic.Instructions.t option; (* Some iff mode = Snic *)
   vft : Vf.Table.t; (* one VF slot per tenant slot *)
+  qos : Qos.t; (* credit arbiter, one registration per slot *)
+  q_spent : int array array; (* reference: slot x resource spend this epoch *)
+  mutable q_epoch : int;
   slot_count : int;
   states : slot_state array;
   mutable next_nf : int; (* commodity NF id counter *)
@@ -36,6 +39,14 @@ type t = {
   mutable violations : Refmodel.violation list; (* newest first *)
 }
 
+(* The harness pins the arbiter to its degenerate corner: guarantee =
+   cap (no borrowing) and capacity = sum of guarantees (no structural
+   slack), so the reference model is flat — one per-slot per-epoch
+   spend counter, grant iff [spent + cost <= qos_guarantee].  Time is
+   the step index, one cycle per op. *)
+let qos_guarantee = 64
+let qos_epoch_cycles = 256
+
 let create ~mode ~slots =
   if slots < 1 || slots > 8 then invalid_arg "Harness.create: slots must be in 1..8";
   let machine, insns =
@@ -45,11 +56,26 @@ let create ~mode ~slots =
       (Snic.Api.machine api, Some (Snic.Api.instructions api))
     | _ -> (Machine.create (Machine.default_config ~mode), None)
   in
+  let qos =
+    Qos.create
+      {
+        Qos.epoch = qos_epoch_cycles;
+        bus_capacity = slots * qos_guarantee;
+        dma_capacity = slots * qos_guarantee;
+        accel_capacity = slots * qos_guarantee;
+      }
+  in
+  for s = 0 to slots - 1 do
+    Qos.register qos ~tenant:s (Qos.flat ~guarantee:qos_guarantee ~cap:qos_guarantee ())
+  done;
   {
     mode;
     machine;
     insns;
     vft = Vf.Table.create machine { Vf.Table.default_config with Vf.Table.vfs = slots };
+    qos;
+    q_spent = Array.make_matrix slots 3 0;
+    q_epoch = 0;
     slot_count = slots;
     states = Array.make slots Empty;
     next_nf = 0;
@@ -580,6 +606,41 @@ let inject t idx op ~target ~pad =
   | Error e, Some _ -> flag t idx op Refmodel.Model_mismatch ("delivery refused despite a live rule: " ^ e));
   true
 
+(* ---- QoS credit admission ----------------------------------------- *)
+
+(* Differential check for the credit arbiter.  With the degenerate
+   registration above (no borrowing, no slack) work-conservation
+   donations can never enable a grant, so verdicts — and the throttle's
+   refill cycle — are exact.  The op touches no memory: the only class
+   it can ever raise is [Model_mismatch]. *)
+let qos_admit t idx op ~actor ~res ~cost =
+  let now = idx in
+  let epoch = now / qos_epoch_cycles in
+  if epoch <> t.q_epoch then begin
+    Array.iter (fun row -> Array.fill row 0 3 0) t.q_spent;
+    t.q_epoch <- epoch
+  end;
+  let r = match res with Op.Q_bus -> Qos.Bus | Op.Q_dma -> Qos.Dma | Op.Q_accel -> Qos.Accel in
+  let ri = match r with Qos.Bus -> 0 | Qos.Dma -> 1 | Qos.Accel -> 2 in
+  let spent = t.q_spent.(actor).(ri) in
+  let model_grant = spent + cost <= qos_guarantee in
+  (match (Qos.admit t.qos ~tenant:actor ~resource:r ~cost ~now, model_grant) with
+  | Qos.Granted, true -> t.q_spent.(actor).(ri) <- spent + cost
+  | Qos.Throttled th, false ->
+    let until = (epoch + 1) * qos_epoch_cycles in
+    if th.Qos.until <> until then
+      flag t idx op Refmodel.Model_mismatch
+        (Printf.sprintf "throttle promises credit at cycle %d, model expected %d" th.Qos.until until)
+  | Qos.Granted, false ->
+    t.q_spent.(actor).(ri) <- spent + cost;
+    flag t idx op Refmodel.Model_mismatch
+      (Printf.sprintf "arbiter granted %d credits past slot %d's exhausted budget" cost actor)
+  | Qos.Throttled _, true ->
+    flag t idx op Refmodel.Model_mismatch
+      (Printf.sprintf "arbiter throttled slot %d though the flat budget has %d credits left" actor
+         (qos_guarantee - spent)));
+  true
+
 (* ---- attestation -------------------------------------------------- *)
 
 let attest t idx op ~slot =
@@ -645,6 +706,7 @@ let exec t idx op =
     | Op.Vf_detach { slot } -> vf_detach t idx op ~slot
     | Op.Vf_doorbell { actor; target; value } -> vf_doorbell t idx op ~actor ~target ~value
     | Op.Vf_queue_read { actor; target; len } -> vf_queue_read t idx op ~actor ~target ~alen:len
+    | Op.Qos_admit { actor; res; cost } -> qos_admit t idx op ~actor ~res ~cost
   end
 
 let step t op =

@@ -2,6 +2,7 @@ type space = Virt | Phys
 type actor = Os | Slot of int
 type reg = Graph | Iq
 type dir = To_host | To_nic
+type qres = Q_bus | Q_dma | Q_accel
 
 type t =
   | Launch of { slot : int; mem_kb : int; accel : bool; rules : bool }
@@ -17,6 +18,7 @@ type t =
   | Vf_detach of { slot : int }
   | Vf_doorbell of { actor : int; target : int; value : int }
   | Vf_queue_read of { actor : int; target : int; len : int }
+  | Qos_admit of { actor : int; res : qres; cost : int }
 
 let equal (a : t) (b : t) = a = b
 
@@ -77,11 +79,14 @@ let gen rng ~slots =
         len = len ();
       }
   | n when n < 83 -> Stream { slot = slot (); src = off (); dst = off (); len = len () }
-  | n when n < 90 -> Inject { target = slot (); pad = Trace.Rng.int rng 48 }
-  | n when n < 93 -> Vf_attach { slot = slot (); weight = 1 + Trace.Rng.int rng 8 }
-  | n when n < 95 -> Vf_detach { slot = slot () }
-  | n when n < 97 -> Vf_doorbell { actor = slot (); target = slot (); value = 1 + Trace.Rng.int rng 0xFFFF }
-  | n when n < 99 -> Vf_queue_read { actor = slot (); target = slot (); len = len () }
+  | n when n < 88 -> Inject { target = slot (); pad = Trace.Rng.int rng 48 }
+  | n when n < 91 -> Vf_attach { slot = slot (); weight = 1 + Trace.Rng.int rng 8 }
+  | n when n < 93 -> Vf_detach { slot = slot () }
+  | n when n < 95 -> Vf_doorbell { actor = slot (); target = slot (); value = 1 + Trace.Rng.int rng 0xFFFF }
+  | n when n < 97 -> Vf_queue_read { actor = slot (); target = slot (); len = len () }
+  | n when n < 99 ->
+    let res = match Trace.Rng.int rng 3 with 0 -> Q_bus | 1 -> Q_dma | _ -> Q_accel in
+    Qos_admit { actor = slot (); res; cost = 16 + Trace.Rng.int rng 64 }
   | _ -> Attest { slot = slot () }
 
 let actor_to_string = function Os -> "os" | Slot s -> string_of_int s
@@ -96,6 +101,7 @@ let slots_of = function
   | Vf_doorbell { actor; target; _ } | Vf_queue_read { actor; target; _ } ->
     string_of_int actor ^ ">" ^ string_of_int target
   | Inject { target; _ } -> string_of_int target
+  | Qos_admit { actor; _ } -> string_of_int actor
 
 let max_slot = function
   | Launch { slot; _ } | Teardown { slot } | Stream { slot; _ } | Attest { slot } -> slot
@@ -105,10 +111,12 @@ let max_slot = function
   | Mmio_write { actor; target; _ } | Dma { actor; target; _ } -> max actor target
   | Vf_doorbell { actor; target; _ } | Vf_queue_read { actor; target; _ } -> max actor target
   | Inject { target; _ } -> target
+  | Qos_admit { actor; _ } -> actor
 
 let space_to_string = function Virt -> "virt" | Phys -> "phys"
 let reg_to_string = function Graph -> "graph" | Iq -> "iq"
 let dir_to_string = function To_host -> "to-host" | To_nic -> "to-nic"
+let qres_to_string = function Q_bus -> "bus" | Q_dma -> "dma" | Q_accel -> "accel"
 let bool_to_string b = if b then "1" else "0"
 
 let to_line = function
@@ -135,6 +143,8 @@ let to_line = function
     Printf.sprintf "vfdoorbell actor=%d target=%d value=%d" actor target value
   | Vf_queue_read { actor; target; len } ->
     Printf.sprintf "vfqread actor=%d target=%d len=%d" actor target len
+  | Qos_admit { actor; res; cost } ->
+    Printf.sprintf "qos actor=%d res=%s cost=%d" actor (qres_to_string res) cost
 
 (* ---- strict line parser ------------------------------------------- *)
 
@@ -199,6 +209,14 @@ let dir_field fields k =
   | "to-host" -> Ok To_host
   | "to-nic" -> Ok To_nic
   | _ -> Error (Printf.sprintf "field %S must be to-host or to-nic" k)
+
+let qres_field fields k =
+  let* v = field fields k in
+  match v with
+  | "bus" -> Ok Q_bus
+  | "dma" -> Ok Q_dma
+  | "accel" -> Ok Q_accel
+  | _ -> Error (Printf.sprintf "field %S must be bus, dma or accel" k)
 
 let expect_exactly fields keys =
   match List.find_opt (fun (k, _) -> not (List.mem k keys)) fields with
@@ -295,5 +313,11 @@ let of_line line =
       let* target = int_field fields "target" in
       let* len = int_field fields "len" in
       if len = 0 then Error "field \"len\" must be positive" else Ok (Vf_queue_read { actor; target; len })
+    | "qos" ->
+      let* () = exact [ "actor"; "res"; "cost" ] in
+      let* actor = int_field fields "actor" in
+      let* res = qres_field fields "res" in
+      let* cost = int_field fields "cost" in
+      if cost = 0 then Error "field \"cost\" must be positive" else Ok (Qos_admit { actor; res; cost })
     | v -> Error (Printf.sprintf "unknown op %S" v)
   end

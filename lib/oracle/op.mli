@@ -29,6 +29,9 @@ type reg = Graph | Iq
 (** DMA direction, NIC-relative. *)
 type dir = To_host | To_nic
 
+(** The shared resource a QoS admission charges. *)
+type qres = Q_bus | Q_dma | Q_accel
+
 type t =
   | Launch of { slot : int; mem_kb : int; accel : bool; rules : bool }
       (** Install a tenant in [slot]: a [mem_kb] KiB region holding a
@@ -79,6 +82,12 @@ type t =
   | Vf_queue_read of { actor : int; target : int; len : int }
       (** Tenant [actor] reads [len] bytes of [target]'s VF
           descriptor-ring window — the cross-VF snoop probe. *)
+  | Qos_admit of { actor : int; res : qres; cost : int }
+      (** Tenant [actor] asks the QoS credit arbiter to admit [cost]
+          credits on [res]. Pure control-plane metering: the differential
+          check is grant/throttle agreement with a flat per-epoch budget
+          model — credit ops touch no memory and must introduce no new
+          isolation classes. *)
 
 (** [gen rng ~slots] draws one op with campaign-tuned weights; every
     field is a function of [rng] draws alone, so a seed reproduces the

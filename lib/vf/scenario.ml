@@ -20,6 +20,7 @@ type nic_result = {
   rounds : int;
   drops : int;
   report : Obs.Fairness.report;
+  lat_report : Obs.Fairness.report;
 }
 
 type result = {
@@ -68,12 +69,20 @@ let run_nic ?(sink = Obs.null) ?(config = Table.default_config) ~nic ~cycles ~se
   let budget = cycles * config.quantum * total_weight in
   let served = ref 0 in
   let pkts = ref 0 in
+  (* Per-VF service-latency proxy: the gap, counted in fleet-wide
+     services, between consecutive services of the same VF.  A weight-w
+     VF is picked ~w times as often, so its tail gap should be ~w times
+     shorter — exactly what the latency-weighted Jain report scores. *)
+  let last_served = Array.make n (-1) in
+  let gaps = Array.make n [] in
   (try
      while !served < budget do
        match Table.tx_next table with
        | None -> raise Exit
        | Some (vf, d) ->
          served := !served + d.bytes;
+         if last_served.(vf) >= 0 then gaps.(vf) <- float_of_int (!pkts - last_served.(vf)) :: gaps.(vf);
+         last_served.(vf) <- !pkts;
          incr pkts;
          submit vf
      done
@@ -86,6 +95,16 @@ let run_nic ?(sink = Obs.null) ?(config = Table.default_config) ~nic ~cycles ~se
     done;
     !acc
   in
+  let lat_report =
+    Obs.Fairness.latency_weighted_report
+      (List.concat
+         (List.mapi
+            (fun vf (_, weight) ->
+              match Obs.Metrics.quantile_of_samples gaps.(vf) 0.99 with
+              | Some p99 -> [ (vf, p99, float_of_int weight) ]
+              | None -> [])
+            vnics))
+  in
   {
     nic;
     vnics = n;
@@ -94,6 +113,7 @@ let run_nic ?(sink = Obs.null) ?(config = Table.default_config) ~nic ~cycles ~se
     rounds = Table.rounds table;
     drops;
     report = Table.fairness table;
+    lat_report;
   }
 
 (* Weights cycle 1,2,4,8 down the VF ids so every NIC hosts a mix. *)
@@ -121,9 +141,11 @@ let run ?(sink = Obs.null) ?(config = Table.default_config) ~nics ~vfs ~cycles ~
   { nics = results; total_pkts; total_bytes; total_drops; jain_min; max_rel_err }
 
 let nic_summary r =
-  Printf.sprintf "nic %3d: vnics=%d pkts=%d bytes=%d rounds=%d drops=%d jain=%.4f max-err=%.2f%%"
+  Printf.sprintf
+    "nic %3d: vnics=%d pkts=%d bytes=%d rounds=%d drops=%d jain=%.4f max-err=%.2f%% lat-jain=%.4f"
     r.nic r.vnics r.scheduled_pkts r.scheduled_bytes r.rounds r.drops r.report.Obs.Fairness.index
     (100. *. r.report.Obs.Fairness.max_rel_err)
+    r.lat_report.Obs.Fairness.index
 
 let summary r =
   let b = Buffer.create 256 in

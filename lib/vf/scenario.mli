@@ -14,6 +14,10 @@ type nic_result = {
   rounds : int;  (** stage-1 quantum refills *)
   drops : int;  (** TX + RX quota drops (0 in a healthy run) *)
   report : Obs.Fairness.report;
+  lat_report : Obs.Fairness.report;
+      (** {!Obs.Fairness.latency_weighted_report} over each VF's p99
+          inter-service gap — the same lower-is-better fairness scoring
+          the QoS noisy-neighbor report uses. *)
 }
 
 type result = {

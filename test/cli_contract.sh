@@ -6,10 +6,14 @@
 # way. cmdliner's conventional error status is 124; we require it
 # exactly so accidental uncaught exceptions (status 2/125) fail here.
 #
-# Usage: cli_contract.sh /path/to/snic_cli.exe
+# The bench binary follows the same convention for section selection:
+# an unknown --only section is a 124 + usage error, not a silent no-op.
+#
+# Usage: cli_contract.sh /path/to/snic_cli.exe [/path/to/bench.exe]
 set -e
 
 cli="$1"
+bench="$2"
 [ -x "$cli" ] || { echo "cli_contract: no executable at '$cli'" >&2; exit 2; }
 
 fail() { echo "cli_contract FAIL: $*" >&2; exit 1; }
@@ -31,7 +35,7 @@ check_bad_flag() {
   esac
 }
 
-for sub in fleet chaos trace datapath oracle vf attacks; do
+for sub in fleet chaos trace datapath oracle vf qos attacks; do
   check_help "$sub"
   check_bad_flag "$sub"
 done
@@ -66,6 +70,34 @@ set +e
 [ $? -eq 2 ] || fail "'vf --vfs 0' should exit 2"
 "$cli" vf --vfs 5000 > /dev/null 2>&1
 [ $? -eq 2 ] || fail "'vf --vfs 5000' should exit 2"
+
+# qos-specific validation: a scenario needs an aggressor plus at least
+# one victim, and the load/SLO knobs must be positive.
+"$cli" qos --tenants 1 > /dev/null 2>&1
+[ $? -eq 2 ] || fail "'qos --tenants 1' should exit 2"
+"$cli" qos --rounds 0 > /dev/null 2>&1
+[ $? -eq 2 ] || fail "'qos --rounds 0' should exit 2"
+"$cli" qos --slo 0 > /dev/null 2>&1
+[ $? -eq 2 ] || fail "'qos --slo 0' should exit 2"
 set -e
 
-echo "cli contract holds (fleet chaos trace datapath oracle vf attacks)"
+# bench --only: unknown sections are 124 + usage, known sections are
+# listed in the message (kept in sync with bench/main.ml's dispatch).
+if [ -n "$bench" ]; then
+  [ -x "$bench" ] || fail "no bench executable at '$bench'"
+  set +e
+  err=$("$bench" --only no-such-section 2>&1 > /dev/null)
+  status=$?
+  set -e
+  [ "$status" -eq 124 ] || fail "'bench --only no-such-section' exited $status, want 124"
+  case "$err" in
+    *Usage:*) : ;;
+    *) fail "'bench --only no-such-section' printed no usage line" ;;
+  esac
+  case "$err" in
+    *qos*) : ;;
+    *) fail "'bench --only' usage does not list the qos section" ;;
+  esac
+fi
+
+echo "cli contract holds (fleet chaos trace datapath oracle vf qos attacks; bench --only)"

@@ -25,4 +25,5 @@ let () =
       ("obs", Test_obs.suite);
       ("oracle", Test_oracle.suite);
       ("vf", Test_vf.suite);
+      ("qos", Test_qos.suite);
     ]
