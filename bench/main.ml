@@ -33,6 +33,21 @@ let seed = match path_after "--seed" with Some s -> int_of_string s | None -> 42
    text — the same registry `snic_cli trace --metrics` exports. *)
 let metrics_path = path_after "--metrics"
 
+(* --domains N: cap the par section's scaling curve (default 8, the full
+   1->2->4->8 sweep the committed baseline carries — a capped run will
+   miss baseline keys under --check, so CI always runs uncapped). *)
+let max_domains =
+  match path_after "--domains" with
+  | None -> 8
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> n
+    | _ ->
+      Printf.eprintf "bench: --domains expects a positive integer, got %s\n" s;
+      Printf.eprintf
+        "Usage: bench [--fast] [--only SECTION] [--domains N] [--seed N] [--json PATH] [--check BASELINE]\n";
+      exit 124)
+
 let metrics : (string * float) list ref = ref []
 let metric name value = metrics := (name, value) :: !metrics
 
@@ -955,6 +970,11 @@ let vf_err_ceiling_pct = 5.
 let qos_share_floor = 0.9
 let qos_victim_p99_ceiling = 2000.
 
+(* The par section's speedup floor only binds when the machine actually
+   has >= 4 cores (par.cores) — a 1-core container can still verify the
+   determinism digests, it just can't demonstrate scaling. *)
+let par_speedup_floor = 2.5
+
 let section_ran name = only = None || only = Some name
 
 let run_check () =
@@ -1007,6 +1027,31 @@ let run_check () =
        | Some s when s > 0. -> fail "qos.starved_victims: %.0f victims starved (must be 0)" s
        | Some _ -> ()
        | None -> fail "qos.starved_victims: missing from this run"
+     end);
+    (if section_ran "par" then begin
+       (* Digests are identities, not measurements: the generic 25%
+          tolerance band is meaningless for them, so they must match the
+          baseline bit for bit. *)
+       List.iter
+         (fun (key, expect) ->
+           let n = String.length key in
+           if n > 11 && String.sub key 0 4 = "par." && String.sub key (n - 7) 7 = ".digest" then
+             match List.assoc_opt key current with
+             | Some got when got <> expect ->
+               fail "%s: digest %.0f vs baseline %.0f (digests must match exactly)" key got expect
+             | _ -> ())
+         baseline;
+       List.iter
+         (fun key ->
+           match List.assoc_opt key current with
+           | Some v when v <> 1. -> fail "%s: %.0f — parallel run diverged from sequential (must be 1)" key v
+           | Some _ -> ()
+           | None -> fail "%s: missing from this run" key)
+         [ "par.digest_consistent"; "par.fleet.consistent"; "par.chaos.consistent" ];
+       match (List.assoc_opt "par.speedup_4x" current, List.assoc_opt "par.cores" current) with
+       | Some s, Some c when c >= 4. && s < par_speedup_floor ->
+         fail "par.speedup_4x: %.2fx is below the %.1fx floor (on a %.0f-core host)" s par_speedup_floor c
+       | _ -> ()
      end);
     if !failures = [] then
       Printf.printf "\nbench --check: %d baseline metrics within %.0f%%, absolute floors met\n"
@@ -1163,6 +1208,93 @@ let qos_section () =
   print_endline
     "expectation: steady-state victim p99 back under the 2k-cycle SLO, share_min >= 0.9, zero starvation"
 
+(* ------------------------------------------------------------------ *)
+(* Parallel shards: domain scaling curve + cross-domain determinism *)
+
+let par_section () =
+  header "Parallel shards (lib/par): scaling curve + determinism digests";
+  let cores = Par.Engine.available_domains () in
+  let shards = 8 in
+  let ops = if fast then 2_000 else 10_000 in
+  let mode = match Oracle.Campaign.mode_of_id "se-s" with Some m -> m | None -> assert false in
+  let m name v = metric ("par." ^ name) v in
+  (* One oracle campaign per shard, shard seeds derived from --seed;
+     the same workload at every fan-out, so the digest of the reports
+     (merged in shard order) must be identical at every curve point. *)
+  let curve = List.filter (fun d -> d <= max_domains) [ 1; 2; 4; 8 ] in
+  Printf.printf "%d shards x %d ops each (oracle %s), %d core(s) available\n" shards ops
+    (Oracle.Campaign.mode_id mode) cores;
+  Printf.printf "%8s %12s %12s %10s %12s\n" "domains" "ops/sec" "speedup" "efficiency" "digest";
+  let points =
+    List.map
+      (fun domains ->
+        let t0 = Unix.gettimeofday () in
+        let reports = Oracle.Campaign.run_sharded ~domains ~mode ~ops ~seed ~shards () in
+        let wall = Unix.gettimeofday () -. t0 in
+        let digest = Par.Digest.strings (Array.to_list (Array.map Oracle.Campaign.to_string reports)) in
+        let rate = if wall > 0. then float_of_int (shards * ops) /. wall else 0. in
+        (domains, rate, digest, reports))
+      curve
+  in
+  let base_rate = match points with (_, r, _, _) :: _ -> r | [] -> 0. in
+  List.iter
+    (fun (domains, rate, digest, _) ->
+      let speedup = if base_rate > 0. then rate /. base_rate else 0. in
+      let efficiency = speedup /. float_of_int domains in
+      Printf.printf "%8d %12.0f %11.2fx %9.0f%% %12d\n" domains rate speedup (100. *. efficiency) digest;
+      m (Printf.sprintf "domains%d.digest" domains) (float_of_int digest);
+      m (Printf.sprintf "domains%d.ops_per_sec" domains) rate;
+      m (Printf.sprintf "domains%d.efficiency" domains) efficiency;
+      if domains = 4 then m "speedup_4x" speedup)
+    points;
+  let digests = List.map (fun (_, _, d, _) -> d) points in
+  let consistent = List.for_all (fun d -> d = List.hd digests) digests in
+  let reports1 = match points with (_, _, _, r) :: _ -> r | [] -> [||] in
+  let executed =
+    Array.fold_left (fun a (r : Oracle.Campaign.report) -> a + r.Oracle.Campaign.executed) 0 reports1
+  in
+  let violations =
+    Array.fold_left
+      (fun a (r : Oracle.Campaign.report) -> a + List.length r.Oracle.Campaign.violations)
+      0 reports1
+  in
+  m "shards" (float_of_int shards);
+  m "ops_per_shard" (float_of_int ops);
+  m "executed_total" (float_of_int executed);
+  m "violations_total" (float_of_int violations);
+  m "digest_consistent" (if consistent then 1. else 0.);
+  m "cores" (float_of_int cores);
+  (* Fleet and chaos shard fan-outs: parallel (2 domains) vs sequential
+     (1 domain) digests over the same derived-seed shard set. *)
+  let fleet_digest domains =
+    let config =
+      { Fleet.Scenario.default_config with Fleet.Scenario.seed; n_nics = 8; n_tenants = 16; rounds = 2; packets_per_round = 200 }
+    in
+    let rs = Fleet.Scenario.run_many ~domains ~shards:4 config in
+    Par.Digest.strings (Array.to_list (Array.map (fun (r, _) -> Fleet.Scenario.summary r) rs))
+  in
+  let chaos_digest domains =
+    let config =
+      { Fleet.Chaos.default_config with Fleet.Chaos.seed; n_nics = 4; n_tenants = 8; rounds = 2; packets_per_round = 100 }
+    in
+    let rs = Fleet.Chaos.run_many ~domains ~shards:2 config in
+    Par.Digest.strings (Array.to_list (Array.map (fun (r, _) -> Fleet.Chaos.summary r) rs))
+  in
+  let f1 = fleet_digest 1 and f2 = fleet_digest 2 in
+  let c1 = chaos_digest 1 and c2 = chaos_digest 2 in
+  Printf.printf "fleet 4-shard digest: %d (1 domain) vs %d (2 domains) — %s\n" f1 f2
+    (if f1 = f2 then "identical" else "DIVERGED");
+  Printf.printf "chaos 2-shard digest: %d (1 domain) vs %d (2 domains) — %s\n" c1 c2
+    (if c1 = c2 then "identical" else "DIVERGED");
+  m "fleet.digest" (float_of_int f1);
+  m "fleet.consistent" (if f1 = f2 then 1. else 0.);
+  m "chaos.digest" (float_of_int c1);
+  m "chaos.consistent" (if c1 = c2 then 1. else 0.);
+  if cores < 4 then
+    Printf.printf "note: %d core(s) — the %.1fx speedup floor is waived (digests still checked)\n" cores
+      par_speedup_floor;
+  print_endline "expectation: identical digests at every fan-out; >= 2.5x at 4 domains on a 4-core host"
+
 let main () =
   print_endline "S-NIC evaluation reproduction (EuroSys'24) — all tables and figures";
   if fast then print_endline "[--fast: reduced Figure 5 sweeps]";
@@ -1197,6 +1329,7 @@ let main () =
   oracle_section ();
   vf_section ();
   qos_section ();
+  par_section ();
   microbenches ();
   write_metrics ();
   run_check ();
@@ -1223,9 +1356,14 @@ let () =
     qos_section ();
     write_metrics ();
     run_check ()
+  | Some "par" ->
+    print_endline "S-NIC parallel-shard bench (domain scaling + cross-domain determinism)";
+    par_section ();
+    write_metrics ();
+    run_check ()
   | Some other ->
     Printf.eprintf "unknown --only section: %s\n" other;
-    Printf.eprintf "Usage: bench [--fast] [--only SECTION] [--json PATH] [--check BASELINE]\n";
-    Printf.eprintf "  valid sections: datapath, oracle, vf, qos\n";
+    Printf.eprintf "Usage: bench [--fast] [--only SECTION] [--domains N] [--json PATH] [--check BASELINE]\n";
+    Printf.eprintf "  valid sections: datapath, oracle, vf, qos, par\n";
     exit 124
   | None -> main ()

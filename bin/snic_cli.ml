@@ -25,6 +25,50 @@ let metrics_arg =
   Arg.(value & opt (some string) None
        & info [ "metrics" ] ~docv:"FILE" ~doc:"Write a Prometheus text dump of the run's metric registry to $(docv)")
 
+(* --domains / --shards ride on fleet, chaos and oracle.  The converter
+   rejects non-positive values at parse time, so "--domains 0" is a
+   cmdliner usage error (exit 124) exactly like a non-numeric value —
+   the CLI contract test pins this. *)
+let positive_int ~what =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | _ -> Error (`Msg (Printf.sprintf "%s must be a positive integer, got %S" what s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let domains_arg =
+  Arg.(value & opt (positive_int ~what:"DOMAINS") 1
+       & info [ "domains" ] ~docv:"DOMAINS"
+           ~doc:"OCaml domains to fan work across (results are byte-identical for any value; see PARALLELISM.md)")
+
+let shards_arg =
+  Arg.(value & opt (some (positive_int ~what:"SHARDS")) None
+       & info [ "shards" ] ~docv:"SHARDS"
+           ~doc:"Run $(docv) independent shards with Par.Seed-derived seeds, merged in shard order")
+
+(* The merged snapshot of a sharded run: every shard's registry folded
+   into one, plus the par_* rows describing the fan-out itself. *)
+let merged_shard_registry ~domains ~shards results =
+  let merged = Obs.Metrics.create_registry () in
+  Obs.Metrics.add
+    (Obs.Metrics.counter merged "par_shards_total" ~help:"Shards executed by the sharded run")
+    shards;
+  Obs.Metrics.add
+    (Obs.Metrics.counter merged "par_domains" ~help:"Domains the shards were fanned across")
+    domains;
+  Array.iter
+    (fun (_, sink) ->
+      match Obs.registry sink with
+      | Some reg ->
+        Obs.Metrics.incr
+          (Obs.Metrics.counter merged "par_registries_merged_total"
+             ~help:"Per-shard registries folded into this snapshot");
+        Obs.Metrics.merge_into ~into:merged reg
+      | None -> ())
+    results;
+  merged
+
 let write_file path contents =
   let oc = open_out path in
   output_string oc contents;
@@ -222,7 +266,7 @@ let fleet_cmd =
   let kill_nfs = Arg.(value & opt int 4 & info [ "kill-nfs" ] ~doc:"Orderly NF kills injected over the run") in
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit per-tenant and per-NIC telemetry as CSV") in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the full telemetry tree as JSON") in
-  let run seed nics tenants policy rounds packets kill_nics kill_nfs csv json metrics =
+  let run seed nics tenants policy rounds packets kill_nics kill_nfs csv json metrics domains shards =
     match Fleet.Policy.of_string policy with
     | Error e ->
       prerr_endline e;
@@ -241,29 +285,53 @@ let fleet_cmd =
           kill_nfs;
         }
       in
-      (* Only record device events when someone asked for the metrics
-         dump — the null sink keeps the default run overhead-free. *)
-      let sink = if metrics = None then Obs.null else Obs.create () in
-      let report, orch = Fleet.Scenario.run_with ~sink config in
-      let telemetry = Fleet.Orchestrator.telemetry orch in
-      if json then print_string (Fleet.Telemetry.to_json telemetry)
+      let shards = Option.value shards ~default:1 in
+      if shards = 1 then begin
+        (* Only record device events when someone asked for the metrics
+           dump — the null sink keeps the default run overhead-free. *)
+        let sink = if metrics = None then Obs.null else Obs.create () in
+        let report, orch = Fleet.Scenario.run_with ~sink ~domains config in
+        let telemetry = Fleet.Orchestrator.telemetry orch in
+        if json then print_string (Fleet.Telemetry.to_json telemetry)
+        else begin
+          print_string (Fleet.Scenario.summary report);
+          if csv then begin
+            print_newline ();
+            print_string (Fleet.Telemetry.tenants_csv telemetry);
+            print_newline ();
+            print_string (Fleet.Telemetry.nics_csv telemetry)
+          end
+        end;
+        (match metrics with Some path -> write_file path (Fleet.Telemetry.prometheus telemetry) | None -> ());
+        if report.Fleet.Scenario.unattested_running > 0 || report.Fleet.Scenario.scrub_failures > 0 then exit 1
+      end
       else begin
-        print_string (Fleet.Scenario.summary report);
-        if csv then begin
-          print_newline ();
-          print_string (Fleet.Telemetry.tenants_csv telemetry);
-          print_newline ();
-          print_string (Fleet.Telemetry.nics_csv telemetry)
-        end
-      end;
-      (match metrics with Some path -> write_file path (Fleet.Telemetry.prometheus telemetry) | None -> ());
-      if report.Fleet.Scenario.unattested_running > 0 || report.Fleet.Scenario.scrub_failures > 0 then exit 1
+        if csv || json then begin
+          prerr_endline "fleet: --csv/--json apply to single-shard runs (drop --shards)";
+          exit 2
+        end;
+        let results = Fleet.Scenario.run_many ~domains ~record:(metrics <> None) ~shards config in
+        Array.iteri
+          (fun i (report, _) ->
+            Printf.printf "=== shard %d (seed %d) ===\n" i report.Fleet.Scenario.config.Fleet.Scenario.seed;
+            print_string (Fleet.Scenario.summary report))
+          results;
+        (match metrics with
+        | Some path ->
+          write_file path (Obs.Metrics.prometheus (merged_shard_registry ~domains ~shards results))
+        | None -> ());
+        if
+          Array.exists
+            (fun (r, _) -> r.Fleet.Scenario.unattested_running > 0 || r.Fleet.Scenario.scrub_failures > 0)
+            results
+        then exit 1
+      end
   in
   Cmd.v
     (Cmd.info "fleet" ~doc:"Seeded multi-NIC fleet scenario: attested placement, traffic, failure recovery")
     Term.(
       const run $ seed_arg $ nics $ tenants $ policy $ rounds $ packets $ kill_nics $ kill_nfs $ csv $ json
-      $ metrics_arg)
+      $ metrics_arg $ domains_arg $ shards_arg)
 
 let chaos_cmd =
   let nics = Arg.(value & opt int 8 & info [ "nics" ] ~doc:"NICs in the rack") in
@@ -285,7 +353,8 @@ let chaos_cmd =
   let kill_nfs = Arg.(value & opt int 2 & info [ "kill-nfs" ] ~doc:"Orderly NF kills over the run") in
   let log = Arg.(value & flag & info [ "log" ] ~doc:"Print the replayable fault-injection log") in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the full telemetry tree as JSON") in
-  let run seed nics tenants policy rounds packets intensity stride flips kill_nics kill_nfs log json metrics =
+  let run seed nics tenants policy rounds packets intensity stride flips kill_nics kill_nfs log json metrics
+      domains shards =
     match Fleet.Policy.of_string policy with
     | Error e ->
       prerr_endline e;
@@ -307,26 +376,54 @@ let chaos_cmd =
           kill_nfs;
         }
       in
-      let sink = if metrics = None then Obs.null else Obs.create () in
-      let report, orch = Fleet.Chaos.run_with ~sink config in
-      let telemetry = Fleet.Orchestrator.telemetry orch in
-      if json then print_string (Fleet.Telemetry.to_json telemetry)
+      let shards = Option.value shards ~default:1 in
+      if shards = 1 then begin
+        let sink = if metrics = None then Obs.null else Obs.create () in
+        let report, orch = Fleet.Chaos.run_with ~sink ~domains config in
+        let telemetry = Fleet.Orchestrator.telemetry orch in
+        if json then print_string (Fleet.Telemetry.to_json telemetry)
+        else begin
+          print_string (Fleet.Chaos.summary report);
+          if log then begin
+            print_newline ();
+            print_string report.Fleet.Chaos.injection_log
+          end
+        end;
+        (match metrics with Some path -> write_file path (Fleet.Telemetry.prometheus telemetry) | None -> ());
+        if report.Fleet.Chaos.unattested_running > 0 || report.Fleet.Chaos.scrub_failures > 0 then exit 1
+      end
       else begin
-        print_string (Fleet.Chaos.summary report);
-        if log then begin
-          print_newline ();
-          print_string report.Fleet.Chaos.injection_log
-        end
-      end;
-      (match metrics with Some path -> write_file path (Fleet.Telemetry.prometheus telemetry) | None -> ());
-      if report.Fleet.Chaos.unattested_running > 0 || report.Fleet.Chaos.scrub_failures > 0 then exit 1
+        if json then begin
+          prerr_endline "chaos: --json applies to single-shard runs (drop --shards)";
+          exit 2
+        end;
+        let results = Fleet.Chaos.run_many ~domains ~record:(metrics <> None) ~shards config in
+        Array.iteri
+          (fun i (report, _) ->
+            Printf.printf "=== shard %d (seed %d) ===\n" i report.Fleet.Chaos.config.Fleet.Chaos.seed;
+            print_string (Fleet.Chaos.summary report);
+            if log then begin
+              print_newline ();
+              print_string report.Fleet.Chaos.injection_log
+            end)
+          results;
+        (match metrics with
+        | Some path ->
+          write_file path (Obs.Metrics.prometheus (merged_shard_registry ~domains ~shards results))
+        | None -> ());
+        if
+          Array.exists
+            (fun (r, _) -> r.Fleet.Chaos.unattested_running > 0 || r.Fleet.Chaos.scrub_failures > 0)
+            results
+        then exit 1
+      end
   in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Gray-failure storm: fault injection across the fleet with self-healing recovery")
     Term.(
       const run $ seed_arg $ nics $ tenants $ policy $ rounds $ packets $ intensity $ stride $ flips $ kill_nics
-      $ kill_nfs $ log $ json $ metrics_arg)
+      $ kill_nfs $ log $ json $ metrics_arg $ domains_arg $ shards_arg)
 
 let datapath_cmd =
   let bytes = Arg.(value & opt int (1 lsl 20) & info [ "bytes" ] ~docv:"N" ~doc:"Transfer size in bytes") in
@@ -410,13 +507,48 @@ let oracle_cmd =
     Arg.(value & opt (some (enum [ ("clean", `Clean); ("violations", `Violations) ])) None
          & info [ "expect" ] ~docv:"WHAT" ~doc:"Exit 1 unless the run is $(b,clean) / has $(b,violations)")
   in
-  let run seed mode ops slots replay dump shrink expect =
+  let run seed mode ops slots replay dump shrink expect domains shards =
     let fail msg =
       prerr_endline msg;
       exit 2
     in
     if slots < 1 || slots > 8 then fail "oracle: --slots must be in 1..8";
     if ops < 0 then fail "oracle: --ops must be non-negative";
+    (* --domains N with no explicit --shards means "a real parallel
+       campaign": one shard per domain.  Any shard replays alone with
+       --shards K --domains 1 (or via its derived seed) — PARALLELISM.md
+       walks through the equivalence. *)
+    let shards = match shards with Some s -> s | None -> if domains > 1 then domains else 1 in
+    if shards > 1 then begin
+      if replay <> None || shrink || dump <> None then
+        fail "oracle: --replay/--shrink/--dump apply to single-shard runs (drop --shards/--domains)";
+      match mode with
+      | None -> fail "oracle: --mode is required (or use --replay FILE)"
+      | Some mode ->
+        let seed = Option.value seed ~default:42 in
+        let reports = Oracle.Campaign.run_sharded ~domains ~slots ~mode ~ops ~seed ~shards () in
+        Array.iteri
+          (fun i r ->
+            Printf.printf "=== shard %d (seed %s) ===\n" i
+              (match r.Oracle.Campaign.seed with Some s -> string_of_int s | None -> "-");
+            print_string (Oracle.Campaign.to_string r))
+          reports;
+        let dirty =
+          Array.exists (fun (r : Oracle.Campaign.report) -> r.Oracle.Campaign.violations <> []) reports
+        in
+        let all_dirty =
+          Array.for_all (fun (r : Oracle.Campaign.report) -> r.Oracle.Campaign.violations <> []) reports
+        in
+        (match expect with
+        | Some `Clean when dirty ->
+          prerr_endline "oracle: expected a clean run but found violations";
+          exit 1
+        | Some `Violations when not all_dirty ->
+          prerr_endline "oracle: expected violations in every shard but found a clean one";
+          exit 1
+        | _ -> ());
+        exit 0
+    end;
     let mode, slots, ops_list, seed_used =
       match replay with
       | Some path -> (
@@ -462,7 +594,7 @@ let oracle_cmd =
   Cmd.v
     (Cmd.info "oracle"
        ~doc:"Model-based isolation oracle: differential fuzzing of the machine against a flat reference model")
-    Term.(const run $ seed_arg $ mode $ ops $ slots $ replay $ dump $ shrink $ expect)
+    Term.(const run $ seed_arg $ mode $ ops $ slots $ replay $ dump $ shrink $ expect $ domains_arg $ shards_arg)
 
 let vf_cmd =
   let nics = Arg.(value & opt int 1 & info [ "nics" ] ~docv:"N" ~doc:"Independent NICs to drive") in

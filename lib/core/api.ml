@@ -107,6 +107,7 @@ let nf_destroy t ~id =
 
 let inject t frame = Pktio.deliver (Machine.pktio (machine t)) frame
 let inject_packet t pkt = inject t (Net.Packet.serialize pkt)
+let inject_batch t frames = Pktio.deliver_batch (Machine.pktio (machine t)) frames
 
 let transmitted t =
   List.filter_map

@@ -66,5 +66,10 @@ val inject : t -> Bytes.t -> (int, string) result
 
 val inject_packet : t -> Net.Packet.t -> (int, string) result
 
+(** [inject_batch t frames] delivers a list of frames in order through
+    {!Nicsim.Pktio.deliver_batch} and returns [(queued, rejected)] —
+    the amortized entry point the fleet front-end batches through. *)
+val inject_batch : t -> Bytes.t list -> int * int
+
 (** Frames transmitted by functions, oldest first. *)
 val transmitted : t -> Net.Packet.t list

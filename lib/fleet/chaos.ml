@@ -124,9 +124,9 @@ let dram_rot orch rng =
       | None -> ())
   end
 
-let run_with ?(sink = Obs.null) config =
+let run_with ?(sink = Obs.null) ?(domains = 1) config =
   let orch =
-    Orchestrator.create ~sink
+    Orchestrator.create ~sink ~domains
       {
         Orchestrator.seed = config.seed;
         n_nics = config.n_nics;
@@ -241,7 +241,17 @@ let run_with ?(sink = Obs.null) config =
   in
   (report, orch)
 
-let run config = fst (run_with config)
+let run ?domains config = fst (run_with ?domains config)
+
+(* Sharded storms: shard i replays the identical scenario under its
+   derived seed, on a private rack and optional private sink; the merge
+   is by shard index, so the report array never depends on which domain
+   finished first. *)
+let run_many ?(domains = 1) ?(record = false) ~shards config =
+  Par.Engine.map_seeded ~domains ~seed:config.seed ~shards (fun ~shard:_ ~seed ->
+      let sink = if record then Obs.create () else Obs.null in
+      let report, _orch = run_with ~sink { config with seed } in
+      (report, sink))
 
 (* ================= noisy-neighbor / starvation ==================== *)
 

@@ -68,14 +68,28 @@ type report = {
   quarantined_nics : int;
 }
 
-val run : config -> report
+(** [run ?domains config] — [domains] (default 1) parallelizes the NIC
+    boot phase ({!Orchestrator.create}); the storm itself is sequential
+    and the report is byte-identical for every value. *)
+val run : ?domains:int -> config -> report
 
-(** [run_with ?sink config] also hands back the orchestrator for
-    inspection.  When [sink] records ({!Obs.create}), every NIC traces
-    its device events into it (one Chrome pid per NIC) and the fleet
-    telemetry shares its registry — this is what [snic_cli trace]
+(** [run_with ?sink ?domains config] also hands back the orchestrator
+    for inspection.  When [sink] records ({!Obs.create}), every NIC
+    traces its device events into it (one Chrome pid per NIC) and the
+    fleet telemetry shares its registry — this is what [snic_cli trace]
     uses. *)
-val run_with : ?sink:Obs.sink -> config -> report * Orchestrator.t
+val run_with : ?sink:Obs.sink -> ?domains:int -> config -> report * Orchestrator.t
+
+(** [run_many ?domains ?record ~shards config] runs [shards] independent
+    storms, shard [i] re-seeded with
+    [Par.Seed.derive ~seed:config.seed ~shard:i], fanned across
+    [domains] OCaml domains (default 1; each shard runs single-domain
+    inside).  Reports return in shard order, byte-identical for every
+    [domains] value — any shard reproduces alone via {!run} with its
+    derived seed.  With [record] each shard gets its own recording sink
+    (returned with its report) for the caller to merge through
+    [Obs.Metrics.merge_into]; see PARALLELISM.md. *)
+val run_many : ?domains:int -> ?record:bool -> shards:int -> config -> (report * Obs.sink) array
 
 (** {2 Noisy-neighbor / starvation scenarios}
 

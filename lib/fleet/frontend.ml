@@ -17,13 +17,42 @@ let replay ?(batch = 32) ?(n_flows = 512) orch ~seed ~packets () =
   let tenants = Orchestrator.tenants orch in
   let n_tenants = Array.length tenants in
   let telemetry = Orchestrator.telemetry orch in
+  let nodes = Orchestrator.nodes orch in
   let injected = ref 0 and undeliverable = ref 0 and forwarded = ref 0 and dropped = ref 0 in
   let rng = Trace.Rng.create ~seed:(seed lxor 0xF00D) in
+  (* Batched ingress: frames are serialized at event time (so the RNG
+     draw order is exactly the per-packet path's) and buffered per node,
+     then pushed through one [Snic.Api.inject_batch] per NIC right
+     before each drain point.  Per-node frame order is event order, and
+     NICs are independent machines, so stats and per-tenant outcomes are
+     byte-identical to injecting one packet at a time. *)
+  let pending = Array.make (Array.length nodes) [] (* reversed *) in
+  let flush () =
+    Array.iteri
+      (fun nid frames ->
+        if frames <> [] then begin
+          pending.(nid) <- [];
+          let queued, rejected = Snic.Api.inject_batch (Node.api nodes.(nid)) (List.rev frames) in
+          injected := !injected + queued;
+          dropped := !dropped + rejected;
+          let ns = Telemetry.nic telemetry nid in
+          ns.Telemetry.injected <- ns.Telemetry.injected + queued
+        end)
+      pending
+  in
+  let drain_all () =
+    Array.iter
+      (fun tn ->
+        let _, f, d = drain orch tn ~max:batch in
+        forwarded := !forwarded + f;
+        dropped := !dropped + d)
+      tenants
+  in
   Array.iteri
     (fun i (ev : Trace.Tracegen.event) ->
       let flow = trace.Trace.Tracegen.flows.(ev.Trace.Tracegen.flow) in
       let tenant = tenants.(Net.Five_tuple.hash flow mod n_tenants) in
-      (match tenant.Orchestrator.placement with
+      match tenant.Orchestrator.placement with
       | None -> incr undeliverable
       | Some p ->
         (* Front-end steering: rewrite the destination port so the NIC's
@@ -33,23 +62,18 @@ let replay ?(batch = 32) ?(n_flows = 512) orch ~seed ~packets () =
         in
         let pkt = Trace.Flowgen.packet_of_flow ~payload_len rng flow in
         let pkt = { pkt with Net.Packet.dst_port = tenant.Orchestrator.port } in
-        let node = p.Orchestrator.node in
-        (match Snic.Api.inject_packet (Node.api node) pkt with
-        | Ok _ ->
-          incr injected;
-          let ns = Telemetry.nic telemetry (Node.id node) in
-          ns.Telemetry.injected <- ns.Telemetry.injected + 1
-        | Error _ -> incr dropped);
-        (* Drain the tenant's pipeline every [batch] injections so the
-           small per-NF buffer pools keep recycling. *)
-        if (i + 1) mod batch = 0 then
-          Array.iter
-            (fun tn ->
-              let _, f, d = drain orch tn ~max:batch in
-              forwarded := !forwarded + f;
-              dropped := !dropped + d)
-            tenants))
+        let nid = Node.id p.Orchestrator.node in
+        pending.(nid) <- Net.Packet.serialize pkt :: pending.(nid);
+        (* Drain the tenants' pipelines every [batch] injections so the
+           small per-NF buffer pools keep recycling; the flush lands the
+           buffered frames first so the drain sees the same machine
+           state as the unbatched path did. *)
+        if (i + 1) mod batch = 0 then begin
+          flush ();
+          drain_all ()
+        end)
     trace.Trace.Tracegen.events;
+  flush ();
   (* Final drain until every pipeline is empty. *)
   Array.iter
     (fun tn ->

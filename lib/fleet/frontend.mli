@@ -21,5 +21,12 @@ type stats = {
     [packets] events from [seed] and push it through the fleet.
     [batch] (default 32) bounds per-tenant drains between injections so
     small VPP buffer pools don't overflow. Per-tenant and per-NIC
-    counters land in the orchestrator's telemetry. *)
+    counters land in the orchestrator's telemetry.
+
+    Ingress is batched: frames buffer per NIC in event order and land
+    through one {!Snic.Api.inject_batch} per NIC immediately before
+    each drain point, which amortizes per-frame dispatch without
+    changing any observable outcome (per-node frame order, pool
+    occupancy at every drain point, and all counters match the
+    one-packet-at-a-time path byte for byte). *)
 val replay : ?batch:int -> ?n_flows:int -> Orchestrator.t -> seed:int -> packets:int -> unit -> stats

@@ -130,17 +130,24 @@ let evict t tenant =
   tenant.placement <- None;
   tenant.attested <- false
 
-let create ?(sink = Obs.null) config =
+let create ?(sink = Obs.null) ?(domains = 1) config =
   let vendor = Snic.Identity.make_vendor ~seed:config.seed ~name:"Fleet Operator NIC Vendor" () in
+  (* NIC boots are independent (each derives its identity from the seed
+     and signs with the immutable vendor key), so they fan out across
+     domains; everything that touches shared state — sink attachment,
+     tenant placement — stays on the calling domain, after the join, in
+     NIC order.  The booted rack is bit-identical for any [domains]. *)
   let nodes =
-    Array.init config.n_nics (fun i ->
-        let node = Node.boot ~identity_seed:(config.seed + (7919 * (i + 1))) ~vendor ~id:i (Node.shape_of_index i) in
-        (* Each NIC records into the shared stream under its own pid. *)
-        let nic_sink = Obs.for_process sink ~pid:i in
-        Obs.name_process nic_sink ~pid:i (Printf.sprintf "nic%d" i);
-        Nicsim.Machine.set_sink (Snic.Api.machine (Node.api node)) nic_sink;
-        node)
+    Par.Engine.map ~domains ~shards:config.n_nics (fun ~shard:i ->
+        Node.boot ~identity_seed:(config.seed + (7919 * (i + 1))) ~vendor ~id:i (Node.shape_of_index i))
   in
+  Array.iteri
+    (fun i node ->
+      (* Each NIC records into the shared stream under its own pid. *)
+      let nic_sink = Obs.for_process sink ~pid:i in
+      Obs.name_process nic_sink ~pid:i (Printf.sprintf "nic%d" i);
+      Nicsim.Machine.set_sink (Snic.Api.machine (Node.api node)) nic_sink)
+    nodes;
   let tenants =
     Array.init config.n_tenants (fun i ->
         {

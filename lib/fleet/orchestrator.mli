@@ -30,13 +30,19 @@ type tenant = {
 
 type t
 
-(** [create ?sink config] boots the NICs and places + attests every
-    tenant.  When [sink] is a recording sink, every NIC's devices trace
-    into it under the NIC's id as Chrome pid, and the fleet telemetry
-    registers its counters in the sink's registry (one Prometheus dump
-    covers both).  Default: {!Obs.null} — no recording, branch-only
-    overhead. *)
-val create : ?sink:Obs.sink -> config -> t
+(** [create ?sink ?domains config] boots the NICs and places + attests
+    every tenant.  When [sink] is a recording sink, every NIC's devices
+    trace into it under the NIC's id as Chrome pid, and the fleet
+    telemetry registers its counters in the sink's registry (one
+    Prometheus dump covers both).  Default: {!Obs.null} — no recording,
+    branch-only overhead.
+
+    [domains] (default 1) fans the independent NIC boots — identity
+    keygen is the expensive part — across OCaml domains via
+    [Par.Engine.map]; sink attachment and tenant placement stay on the
+    calling domain, so the resulting rack is bit-identical for every
+    [domains] value. *)
+val create : ?sink:Obs.sink -> ?domains:int -> config -> t
 
 val config : t -> config
 val nodes : t -> Node.t array

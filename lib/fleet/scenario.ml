@@ -44,9 +44,9 @@ let budget_for ~total ~gaps ~gap =
   if gaps <= 0 then if gap = 0 then total else 0
   else (total * (gap + 1) / gaps) - (total * gap / gaps)
 
-let run_with ?(sink = Obs.null) config =
+let run_with ?(sink = Obs.null) ?(domains = 1) config =
   let orch =
-    Orchestrator.create ~sink
+    Orchestrator.create ~sink ~domains
       {
         Orchestrator.seed = config.seed;
         n_nics = config.n_nics;
@@ -95,7 +95,17 @@ let run_with ?(sink = Obs.null) config =
   in
   (report, orch)
 
-let run config = fst (run_with config)
+let run ?domains config = fst (run_with ?domains config)
+
+(* Sharded fan-out: shard i is the same scenario with the derived seed,
+   on its own rack and (optionally) its own recording sink.  Inner runs
+   stay single-domain — the parallelism budget is spent on whole shards,
+   which keeps every shard's execution identical to a solo run. *)
+let run_many ?(domains = 1) ?(record = false) ~shards config =
+  Par.Engine.map_seeded ~domains ~seed:config.seed ~shards (fun ~shard:_ ~seed ->
+      let sink = if record then Obs.create () else Obs.null in
+      let report, _orch = run_with ~sink { config with seed } in
+      (report, sink))
 
 let summary r =
   let b = Buffer.create 1024 in

@@ -36,7 +36,10 @@ type report = {
   alive_nics : int;
 }
 
-val run : config -> report
+(** [run ?domains config] — [domains] (default 1) parallelizes the NIC
+    boot phase ({!Orchestrator.create}); the report is byte-identical
+    for every value. *)
+val run : ?domains:int -> config -> report
 
 (** Human-readable multi-line summary. *)
 val summary : report -> string
@@ -46,4 +49,16 @@ val summary : report -> string
     caller needs raw counters.  A recording [sink] traces every NIC's
     devices (one Chrome pid per NIC) and shares its metrics registry
     with the fleet telemetry. *)
-val run_with : ?sink:Obs.sink -> config -> report * Orchestrator.t
+val run_with : ?sink:Obs.sink -> ?domains:int -> config -> report * Orchestrator.t
+
+(** [run_many ?domains ?record ~shards config] runs [shards] independent
+    copies of the scenario, shard [i] re-seeded with
+    [Par.Seed.derive ~seed:config.seed ~shard:i], fanned across
+    [domains] OCaml domains (default 1; each shard itself runs
+    single-domain).  Reports come back in shard order, byte-identical
+    for every [domains] value.  With [record] (default false) each shard
+    runs under its own recording sink — returned alongside its report —
+    whose registries the caller merges via [Obs.Metrics.merge_into]
+    (recording sinks must never be shared across domains; see
+    PARALLELISM.md). *)
+val run_many : ?domains:int -> ?record:bool -> shards:int -> config -> (report * Obs.sink) array

@@ -119,7 +119,11 @@ let rx_fault t frame =
         Bytes.set frame byte (Char.chr (Char.code (Bytes.get frame byte) lxor (1 lsl bit)));
         Ok frame))
 
-let deliver t frame =
+(* The per-frame pipeline, minus the RX counter: [deliver] counts each
+   success as it happens, [deliver_batch] counts once per batch.  All
+   other observable effects (drops, faults, allocator and scheduler
+   state) are per-frame in both paths. *)
+let deliver_frame t frame =
   match rx_fault t frame with
   | Error e ->
     drop t;
@@ -162,11 +166,28 @@ let deliver t frame =
             }
           in
           Sched.enqueue ring meta (addr, len);
-          Obs.count t.sink Obs.Pktio_rx;
           Ok nf
       end
     end
   end)
+
+let deliver t frame =
+  match deliver_frame t frame with
+  | Ok nf ->
+    Obs.count t.sink Obs.Pktio_rx;
+    Ok nf
+  | Error _ as e -> e
+
+let deliver_batch t frames =
+  let queued = ref 0 and rejected = ref 0 in
+  List.iter
+    (fun frame ->
+      match deliver_frame t frame with Ok _ -> incr queued | Error _ -> incr rejected)
+    frames;
+  (* One amortized counter bump covers the whole batch; totals match the
+     per-frame path exactly. *)
+  if !queued > 0 then Obs.count_n t.sink Obs.Pktio_rx !queued;
+  (!queued, !rejected)
 
 let rx_pop t ~nf =
   match Hashtbl.find_opt t.rings nf with

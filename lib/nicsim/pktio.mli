@@ -70,6 +70,15 @@ val tx_available : t -> int
     exhausted (packet dropped). *)
 val deliver : t -> Bytes.t -> (int, string) result
 
+(** [deliver_batch t frames] runs ingress for a list of frames in order
+    and returns [(queued, rejected)].  Observationally identical to
+    folding {!deliver} over [frames] — same per-frame fault draws, drops
+    and scheduler state — but the RX counter is bumped once per batch
+    instead of once per frame, which is what the batched front-end
+    ([Fleet.Frontend]) amortizes.  [queued + rejected] is always
+    [List.length frames]. *)
+val deliver_batch : t -> Bytes.t list -> int * int
+
 (** [rx_pop t ~nf] pops the next (physical address, length) descriptor. *)
 val rx_pop : t -> nf:int -> (int * int) option
 

@@ -130,6 +130,27 @@ let sorted_metrics reg =
 let counters reg =
   List.filter_map (function name, C c -> Some (name, c.count) | _, H _ -> None) (sorted_metrics reg)
 
+(* Per-domain merge: each shard of a parallel run records into its own
+   registry (recording sinks are single-domain), and the coordinator
+   folds them into one snapshot after the join.  Sources are visited in
+   name order and summation commutes, so the merged registry is
+   independent of both hash order and shard completion order. *)
+let merge_into ~into src =
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | C c ->
+        let dst = counter ~help:c.c_help into name in
+        dst.count <- dst.count + c.count
+      | H h ->
+        let dst = histogram ~help:h.h_help ~buckets:h.bounds into name in
+        if dst.bounds <> h.bounds then
+          invalid_arg ("Metrics.merge_into: bucket ladders differ for " ^ name);
+        Array.iteri (fun i n -> dst.buckets.(i) <- dst.buckets.(i) + n) h.buckets;
+        dst.sum <- dst.sum +. h.sum;
+        dst.n <- dst.n + h.n)
+    (sorted_metrics src)
+
 let float_str v =
   if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
   else Printf.sprintf "%g" v

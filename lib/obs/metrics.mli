@@ -67,6 +67,19 @@ val quantile_of_samples : float list -> float -> float option
 val counters : registry -> (string * int) list
 (** All counters as [(name, value)], sorted by name. *)
 
+val merge_into : into:registry -> registry -> unit
+(** [merge_into ~into src] folds every metric of [src] into [into]:
+    counters add their counts; histograms add bucket-wise (the bucket
+    ladders must be identical) along with their sums and observation
+    counts.  Metrics absent from [into] are registered first, so merging
+    shard registries into a fresh registry yields the union.  Merging is
+    commutative and associative over disjoint sources, which is what
+    lets a parallel run's per-domain registries collapse into one
+    snapshot independent of completion order (see PARALLELISM.md).
+    Raises [Invalid_argument] if a name is a counter in one registry and
+    a histogram in the other, or if two histograms with the same name
+    have different bucket ladders. *)
+
 val prometheus : registry -> string
 (** Prometheus text-exposition dump of every metric, sorted by name.
     Counters render as [name value]; histograms as cumulative

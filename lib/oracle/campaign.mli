@@ -32,13 +32,43 @@ val default_slots : int
     depends on the seed alone. *)
 val gen_ops : slots:int -> ops:int -> seed:int -> Op.t list
 
+(** [gen_ops_array] is {!gen_ops} as an array — the form the batched
+    interpreter consumes. *)
+val gen_ops_array : slots:int -> ops:int -> seed:int -> Op.t array
+
 (** [replay ?slots ~mode ops] runs an explicit op list on a fresh
     harness. *)
 val replay : ?slots:int -> mode:Nicsim.Machine.mode -> Op.t list -> report
 
+(** [replay_array] is {!replay} over an op array, interpreted in
+    512-op chunks through {!Harness.step_batch}.  Same semantics, same
+    report, less dispatch overhead — {!replay} and {!run} both route
+    through it. *)
+val replay_array : ?slots:int -> mode:Nicsim.Machine.mode -> Op.t array -> report
+
 (** [run ?slots ~mode ~ops ~seed ()] = [gen_ops] + [replay], with [seed]
     recorded in the report. *)
 val run : ?slots:int -> mode:Nicsim.Machine.mode -> ops:int -> seed:int -> unit -> report
+
+(** [run_sharded ?domains ~mode ~ops ~seed ~shards ()] runs [shards]
+    independent campaigns of [ops] ops each, shard [i] seeded with
+    [Par.Seed.derive ~seed ~shard:i], fanned across [domains] OCaml
+    domains (default 1).  Reports come back in shard order regardless of
+    completion order, each carrying its derived seed — so shard [i] of
+    any parallel run reproduces alone via
+    [run ~mode ~ops ~seed:(Par.Seed.derive ~seed ~shard:i) ()].  The
+    result is byte-identical for every [?domains] value
+    (PARALLELISM.md spells out the contract; [test/test_par.ml] and the
+    CI [par-smoke] job enforce it). *)
+val run_sharded :
+  ?domains:int ->
+  ?slots:int ->
+  mode:Nicsim.Machine.mode ->
+  ops:int ->
+  seed:int ->
+  shards:int ->
+  unit ->
+  report array
 
 (** Violations per class, in {!Refmodel.all_classes} order, zero-count
     classes included. *)

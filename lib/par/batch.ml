@@ -1,0 +1,9 @@
+let iter_slices ~batch ~len f =
+  if batch < 1 then invalid_arg "Par.Batch.iter_slices: batch must be >= 1";
+  if len < 0 then invalid_arg "Par.Batch.iter_slices: len must be >= 0";
+  let pos = ref 0 in
+  while !pos < len do
+    let n = min batch (len - !pos) in
+    f ~pos:!pos ~len:n;
+    pos := !pos + n
+  done

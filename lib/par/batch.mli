@@ -1,0 +1,14 @@
+(** Slicing a long run of work into fixed-size chunks.
+
+    The batched dispatch loops (the oracle harness interpreting ops,
+    [Pktio] delivering frames) all walk their input the same way: whole
+    slices of [batch] items, then one short tail.  Centralizing the
+    arithmetic here keeps the chunk boundaries identical everywhere —
+    boundaries are part of the determinism contract, because per-chunk
+    bookkeeping (counter flushes, drains) happens at them. *)
+
+val iter_slices : batch:int -> len:int -> (pos:int -> len:int -> unit) -> unit
+(** [iter_slices ~batch ~len f] calls [f ~pos ~len:n] for consecutive
+    slices [pos, pos + n) covering [0, len) in order, each of size
+    [batch] except a possibly shorter final slice.  Raises
+    [Invalid_argument] if [batch < 1] or [len < 0]. *)

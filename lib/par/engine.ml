@@ -1,0 +1,39 @@
+let available_domains () = Domain.recommended_domain_count ()
+
+(* Static round-robin: worker w owns shards w, w+domains, w+2*domains...
+   Each slot of [results] is written by exactly one worker, so the only
+   synchronization needed is the happens-before edge Domain.join gives
+   us.  Exceptions are captured per shard and the lowest-numbered
+   failure is re-raised after the join — completion order never shows. *)
+let map ?(domains = 1) ~shards f =
+  if domains < 1 then invalid_arg "Par.Engine.map: domains must be >= 1";
+  if shards < 0 then invalid_arg "Par.Engine.map: shards must be >= 0";
+  if shards = 0 then [||]
+  else if domains = 1 || shards = 1 then Array.init shards (fun shard -> f ~shard)
+  else begin
+    let domains = min domains shards in
+    let results = Array.make shards None in
+    let worker w () =
+      let rec go shard =
+        if shard < shards then begin
+          (results.(shard) <-
+            Some (try Ok (f ~shard) with e -> Error (e, Printexc.get_raw_backtrace ())));
+          go (shard + domains)
+        end
+      in
+      go w
+    in
+    let spawned = Array.init (domains - 1) (fun k -> Domain.spawn (worker (k + 1))) in
+    worker 0 ();
+    Array.iter Domain.join spawned;
+    Array.mapi
+      (fun _shard slot ->
+        match slot with
+        | Some (Ok v) -> v
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | None -> assert false (* every shard < shards is visited by its worker *))
+      results
+  end
+
+let map_seeded ?domains ~seed ~shards f =
+  map ?domains ~shards (fun ~shard -> f ~shard ~seed:(Seed.derive ~seed ~shard))

@@ -1,0 +1,42 @@
+(** Deterministic fan-out of independent shards across domains.
+
+    The engine runs [shards] independent pieces of work on up to
+    [domains] OCaml 5 domains and returns their results {e merged by
+    shard index, never by completion order}.  Shard assignment is
+    static — shard [i] always runs on worker [i mod domains] — so a
+    run's structure is a pure function of [(shards, domains)], and the
+    result array is byte-identical whether the shards ran on one domain
+    or eight.
+
+    The contract callers must keep (spelled out in PARALLELISM.md): the
+    shard function must touch only state it created itself — a fresh
+    [Nicsim.Machine], a fresh recording sink, a fresh harness.  Nothing
+    in this repository's simulation stack has global mutable state, so
+    any scenario that boots its own machine is safe to shard as-is. *)
+
+val available_domains : unit -> int
+(** What the host offers: [Domain.recommended_domain_count ()].  The
+    engine never consults this on its own — callers decide how many
+    domains to request — but the CLI and bench report it so a scaling
+    curve can be read in context. *)
+
+val map : ?domains:int -> shards:int -> (shard:int -> 'a) -> 'a array
+(** [map ~domains ~shards f] computes [[| f ~shard:0; ...;
+    f ~shard:(shards - 1) |]], running the shard functions on
+    [min domains shards] domains ([domains] defaults to 1, meaning run
+    everything on the calling domain).  Results are placed by shard
+    index; completion order is irrelevant and unobservable.
+
+    If a shard raises, every other shard still runs to completion, and
+    the exception of the {e lowest-numbered} failing shard is re-raised
+    (with its backtrace) after all workers have joined — again
+    independent of timing.
+
+    Raises [Invalid_argument] if [domains < 1] or [shards < 0]. *)
+
+val map_seeded : ?domains:int -> seed:int -> shards:int -> (shard:int -> seed:int -> 'a) -> 'a array
+(** [map_seeded ~seed ~shards f] is {!map} with shard [i] handed its
+    {!Seed.derive}d seed: [f ~shard:i ~seed:(Seed.derive ~seed ~shard:i)].
+    This is the one entry point the sharded scenarios (fleet, chaos,
+    oracle) fan out through, so seed derivation cannot drift between
+    them. *)

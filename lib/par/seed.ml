@@ -1,0 +1,28 @@
+(* Bijective 62-bit mixing, SplitMix64-style.  Every step — xorshift,
+   multiply by an odd constant mod 2^62, add a constant — is a bijection
+   on the 62-bit space [Trace.Rng] masks to, so the whole finalizer is a
+   bijection and [derive ~seed] is injective in [shard]:
+   shard -> 2*shard+1 is injective into the odd residues, multiplying an
+   odd number by the odd gamma is a bijection mod 2^62, and the final
+   mix is a bijection.  The constants are the ones [lib/trace/rng.ml]
+   already uses, truncated to fit OCaml's 63-bit int literals. *)
+
+let mask = max_int (* 2^62 - 1 on 64-bit platforms *)
+let gamma = 0x1E3779B97F4A7C15
+let mult = 0x3C79AC492BA7B653
+
+let mix x =
+  let x = x land mask in
+  let x = x lxor (x lsr 31) in
+  let x = x * mult land mask in
+  let x = x lxor (x lsr 29) in
+  let x = x * gamma land mask in
+  x lxor (x lsr 32)
+
+let derive ~seed ~shard =
+  if shard < 0 then invalid_arg "Par.Seed.derive: shard must be >= 0";
+  mix ((mix seed + (((2 * shard) + 1) * gamma)) land mask)
+
+let derive_many ~seed ~shards =
+  if shards < 0 then invalid_arg "Par.Seed.derive_many: shards must be >= 0";
+  Array.init shards (fun shard -> derive ~seed ~shard)

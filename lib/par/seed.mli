@@ -1,0 +1,29 @@
+(** Deterministic per-shard seed derivation.
+
+    Every sharded run in this repository — fleet racks, chaos storms,
+    oracle campaigns — gives shard [i] the seed
+    [derive ~seed ~shard:i], never [seed + i].  The derivation is a
+    bijective 62-bit mix (the same SplitMix64-style finalizer family as
+    [Trace.Rng]), so:
+
+    - for a fixed campaign [seed], distinct shards get distinct seeds
+      (injectivity — [test/test_par.ml] checks it by qcheck);
+    - neighbouring campaign seeds do not produce overlapping shard
+      streams the way additive schemes do ([seed + 1] shard 0 vs
+      [seed] shard 1);
+    - the mapping is a pure function of [(seed, shard)], so any shard
+      of a parallel run can be reproduced alone, on one domain, by
+      feeding its derived seed to the sequential entry point.
+
+    See PARALLELISM.md for the full determinism contract. *)
+
+val derive : seed:int -> shard:int -> int
+(** [derive ~seed ~shard] is the seed shard [shard] runs with.  The
+    result is non-negative and fits the 62-bit space [Trace.Rng]
+    masks to.  For a fixed [seed] the map [shard -> derive ~seed ~shard]
+    is injective.  Raises [Invalid_argument] if [shard < 0]. *)
+
+val derive_many : seed:int -> shards:int -> int array
+(** [derive_many ~seed ~shards] is [[| derive ~seed ~shard:0; ...;
+    derive ~seed ~shard:(shards - 1) |]].  Raises [Invalid_argument]
+    if [shards < 0]. *)

@@ -1,6 +1,6 @@
 #!/bin/sh
-# docs-check: fail on broken relative links in the root markdown docs,
-# and on odoc warnings for the documented interfaces.
+# docs-check: fail on broken relative links and dangling #anchors in the
+# root markdown docs, and on odoc warnings for the documented interfaces.
 #
 # Run from anywhere: cd's to the repo root. odoc is optional locally
 # (the docs-check CI job installs it); without it the link check still
@@ -9,31 +9,97 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-bad=0
+# GitHub anchor slug for every heading of $1: lowercase, punctuation
+# stripped (backticks included), spaces to hyphens.  GitHub's "-1"
+# suffixing of duplicate headings is not modelled; none of our docs
+# repeat a heading.
+slugs() {
+  grep -E '^#{1,6}[[:space:]]' "$1" 2>/dev/null \
+    | sed -E 's/^#{1,6}[[:space:]]+//; s/[[:space:]]+$//' \
+    | tr '[:upper:]' '[:lower:]' \
+    | sed -E 's/[^a-z0-9 _-]//g; s/ /-/g' || true
+}
 
-# --- 1. every relative markdown link must resolve ------------------------
-# SNIPPETS.md quotes exemplar code from external repositories verbatim,
-# links included; it is reference material, not repo documentation.
-for md in *.md; do
-  [ "$md" = "SNIPPETS.md" ] && continue
-  links=$(grep -oE '\]\([^) ]+\)' "$md" | sed -E 's/^\]\(//; s/\)$//' || true)
-  for target in $links; do
-    case "$target" in
-      http://* | https://* | mailto:* | \#*) continue ;;
-    esac
-    path=${target%%#*}
-    [ -z "$path" ] && continue
-    if [ ! -e "$path" ]; then
-      echo "broken link in $md: $target"
-      bad=1
-    fi
+# check_links DIR: every relative markdown link in DIR/*.md must
+# resolve, and every #anchor — same-file or cross-file — must name a
+# real heading in its target.  Prints each failure; exits non-zero if
+# any.  SNIPPETS.md quotes exemplar code from external repositories
+# verbatim, links included; it is reference material, not repo docs.
+check_links() {
+  dir=$1
+  failed=0
+  for md in "$dir"/*.md; do
+    [ "$(basename "$md")" = "SNIPPETS.md" ] && continue
+    links=$(grep -oE '\]\([^) ]+\)' "$md" | sed -E 's/^\]\(//; s/\)$//' || true)
+    for target in $links; do
+      case "$target" in
+        http://* | https://* | mailto:*) continue ;;
+      esac
+      path=${target%%#*}
+      if [ -n "$path" ] && [ ! -e "$dir/$path" ]; then
+        echo "broken link in $md: $target"
+        failed=1
+        continue
+      fi
+      case "$target" in
+        *'#'*)
+          anchor=${target#*#}
+          if [ -n "$path" ]; then file="$dir/$path"; else file=$md; fi
+          case "$file" in
+            *.md)
+              if ! slugs "$file" | grep -qx "$anchor"; then
+                echo "dangling anchor in $md: $target"
+                failed=1
+              fi ;;
+          esac ;;
+      esac
+    done
   done
+  return "$failed"
+}
+
+# --- 0. checker self-test -------------------------------------------------
+# The checker itself regressed once (anchors were stripped before the
+# existence test, so README -> FILE.md#section links passed with a bogus
+# section). Pin the behavior: a clean fixture passes, and a broken link,
+# a same-file dangling anchor and a cross-file dangling anchor each fail.
+selftest=$(mktemp -d)
+cat > "$selftest/GOOD.md" <<'EOF'
+# Title
+## Real heading
+[same-file](#real-heading) and [cross-file](OTHER.md#other-section).
+EOF
+cat > "$selftest/OTHER.md" <<'EOF'
+## Other section
+EOF
+if ! out=$(check_links "$selftest"); then
+  echo "docs_check self-test FAIL: clean fixture rejected:"
+  printf '%s\n' "$out"
+  exit 1
+fi
+cat > "$selftest/BAD.md" <<'EOF'
+[broken](missing.md) [dangle](#no-such-heading) [xdangle](OTHER.md#nope)
+EOF
+if out=$(check_links "$selftest"); then
+  echo "docs_check self-test FAIL: broken fixture passed"
+  exit 1
+fi
+for want in "missing.md" "#no-such-heading" "OTHER.md#nope"; do
+  printf '%s\n' "$out" | grep -qF "$want" \
+    || { echo "docs_check self-test FAIL: '$want' not reported"; exit 1; }
 done
-[ "$bad" -eq 0 ] && echo "markdown links: OK"
+rm -rf "$selftest"
+echo "docs_check self-test: OK"
+
+# --- 1. repo docs ---------------------------------------------------------
+bad=0
+check_links . || bad=1
+[ "$bad" -eq 0 ] && echo "markdown links + anchors: OK"
 
 # --- 2. odoc must be warning-free on the swept interfaces ----------------
-# The doc sweep covers lib/nicsim, lib/fleet and lib/obs; warnings there
-# are fatal (elsewhere they are reported but tolerated for now).
+# The doc sweep covers lib/nicsim, lib/fleet, lib/obs and lib/par;
+# warnings there are fatal (elsewhere they are reported but tolerated
+# for now).
 if command -v odoc >/dev/null 2>&1; then
   out=$(dune build @doc 2>&1) || {
     echo "$out"
@@ -42,8 +108,8 @@ if command -v odoc >/dev/null 2>&1; then
   }
   if printf '%s\n' "$out" | grep -qi "warning"; then
     printf '%s\n' "$out"
-    if printf '%s\n' "$out" | grep -B 3 -i "warning" | grep -qE 'lib/(nicsim|fleet|obs)/'; then
-      echo "odoc warnings in swept interfaces (lib/nicsim, lib/fleet, lib/obs)"
+    if printf '%s\n' "$out" | grep -B 3 -i "warning" | grep -qE 'lib/(nicsim|fleet|obs|par)/'; then
+      echo "odoc warnings in swept interfaces (lib/nicsim, lib/fleet, lib/obs, lib/par)"
       bad=1
     else
       echo "odoc warnings outside the swept interfaces (tolerated)"

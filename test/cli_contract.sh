@@ -40,6 +40,28 @@ for sub in fleet chaos trace datapath oracle vf qos attacks; do
   check_bad_flag "$sub"
 done
 
+# --domains / --shards take a positive integer; zero and non-numeric
+# values are rejected at parse time (cmdliner conv), so 124 + usage —
+# not a crash and not our status-2 validation path.
+check_bad_domains() {
+  # $1 = subcommand, $2 = flag value
+  set +e
+  err=$("$cli" "$1" --domains "$2" 2>&1 > /dev/null)
+  status=$?
+  set -e
+  [ "$status" -eq 124 ] || fail "'$1 --domains $2' exited $status, want 124"
+  case "$err" in
+    *Usage:*) : ;;
+    *) fail "'$1 --domains $2' printed no usage line" ;;
+  esac
+}
+
+for sub in fleet chaos oracle; do
+  check_bad_domains "$sub" 0
+  check_bad_domains "$sub" abc
+  check_bad_domains "$sub" -3
+done
+
 check_help
 check_bad_flag
 
@@ -98,6 +120,24 @@ if [ -n "$bench" ]; then
     *qos*) : ;;
     *) fail "'bench --only' usage does not list the qos section" ;;
   esac
+  case "$err" in
+    *par*) : ;;
+    *) fail "'bench --only' usage does not list the par section" ;;
+  esac
+
+  # bench --domains follows the same convention: zero or non-numeric
+  # values are 124 + usage before any section runs.
+  for v in 0 abc; do
+    set +e
+    err=$("$bench" --only par --domains "$v" 2>&1 > /dev/null)
+    status=$?
+    set -e
+    [ "$status" -eq 124 ] || fail "'bench --domains $v' exited $status, want 124"
+    case "$err" in
+      *Usage:*) : ;;
+      *) fail "'bench --domains $v' printed no usage line" ;;
+    esac
+  done
 fi
 
-echo "cli contract holds (fleet chaos trace datapath oracle vf qos attacks; bench --only)"
+echo "cli contract holds (fleet chaos trace datapath oracle vf qos attacks; --domains; bench --only)"

@@ -26,4 +26,5 @@ let () =
       ("oracle", Test_oracle.suite);
       ("vf", Test_vf.suite);
       ("qos", Test_qos.suite);
+      ("par", Test_par.suite);
     ]
