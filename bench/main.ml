@@ -975,6 +975,10 @@ let qos_victim_p99_ceiling = 2000.
    determinism digests, it just can't demonstrate scaling. *)
 let par_speedup_floor = 2.5
 
+(* S-NIC-mode benign goodput under a 10x SYN flood, relative to the
+   attack-free baseline pass. *)
+let ddos_goodput_floor = 0.8
+
 let section_ran name = only = None || only = Some name
 
 let run_check () =
@@ -1027,6 +1031,30 @@ let run_check () =
        | Some s when s > 0. -> fail "qos.starved_victims: %.0f victims starved (must be 0)" s
        | Some _ -> ()
        | None -> fail "qos.starved_victims: missing from this run"
+     end);
+    (if section_ran "ddos" then begin
+       (* The event-stream digest is an identity, not a measurement —
+          exact match or the attack replay is not the committed one. *)
+       (match (List.assoc_opt "ddos.events_digest" baseline, List.assoc_opt "ddos.events_digest" current) with
+       | Some expect, Some got when got <> expect ->
+         fail "ddos.events_digest: %.0f vs baseline %.0f (digests must match exactly)" got expect
+       | _ -> ());
+       (match List.assoc_opt "ddos.snic.goodput_ratio" current with
+       | Some g when g < ddos_goodput_floor ->
+         fail "ddos.snic.goodput_ratio: %.4f is below the %.2f floor" g ddos_goodput_floor
+       | Some _ -> ()
+       | None -> fail "ddos.snic.goodput_ratio: missing from this run");
+       (match List.assoc_opt "ddos.snic.mem_flat" current with
+       | Some v when v <> 1. -> fail "ddos.snic.mem_flat: %.0f — defense memory grew (must be 1)" v
+       | Some _ -> ()
+       | None -> fail "ddos.snic.mem_flat: missing from this run");
+       List.iter
+         (fun key ->
+           match List.assoc_opt key current with
+           | Some v when v <> 0. -> fail "%s: %.0f — attacker reached NF memory in S-NIC mode (must be 0)" key v
+           | Some _ -> ()
+           | None -> fail "%s: missing from this run" key)
+         [ "ddos.snic.tampered"; "ddos.snic.key_stolen" ]
      end);
     (if section_ran "par" then begin
        (* Digests are identities, not measurements: the generic 25%
@@ -1209,6 +1237,41 @@ let qos_section () =
     "expectation: steady-state victim p99 back under the 2k-cycle SLO, share_min >= 0.9, zero starvation"
 
 (* ------------------------------------------------------------------ *)
+(* DDoS: CuckooGuard SYN proxy + cuckoo whitelist across the five modes *)
+
+let ddos_section () =
+  header "DDoS defense (lib/nf cuckoo/syn_proxy): SYN flood across protection modes";
+  let t0 = Sys.time () in
+  let config = { Fleet.Chaos.default_ddos_config with Fleet.Chaos.d_seed = seed } in
+  let r = Fleet.Chaos.run_ddos config in
+  let secs = Sys.time () -. t0 in
+  print_string (Fleet.Chaos.ddos_summary r);
+  Printf.printf "(%.2fs)\n" secs;
+  metric "ddos.events_digest" (float_of_int r.Fleet.Chaos.d_events_digest);
+  metric "ddos.benign_pkts" (float_of_int r.Fleet.Chaos.d_benign_pkts);
+  metric "ddos.attack_pkts" (float_of_int r.Fleet.Chaos.d_attack_pkts);
+  List.iter
+    (fun (mr : Fleet.Chaos.ddos_mode_report) ->
+      let m name v = metric (Printf.sprintf "ddos.%s.%s" (Fleet.Chaos.ddos_mode_id mr.Fleet.Chaos.dm_mode) name) v in
+      let flag name b = m name (if b then 1. else 0.) in
+      m "goodput_ratio" mr.Fleet.Chaos.dm_goodput_ratio;
+      m "unprotected_ratio" mr.Fleet.Chaos.dm_unprotected_ratio;
+      m "attack_dropped" (float_of_int mr.Fleet.Chaos.dm_attack_dropped);
+      m "benign_dropped" (float_of_int mr.Fleet.Chaos.dm_benign_dropped);
+      m "forged_admits" (float_of_int mr.Fleet.Chaos.dm_forged_admits);
+      m "corrupt_flips" (float_of_int mr.Fleet.Chaos.dm_corrupt_flips);
+      m "whitelist_load" mr.Fleet.Chaos.dm_whitelist_load;
+      m "mem_reserved_bytes" (float_of_int mr.Fleet.Chaos.dm_mem_reserved_bytes);
+      m "mem_peak_bytes" (float_of_int mr.Fleet.Chaos.dm_mem_peak_bytes);
+      flag "mem_flat" mr.Fleet.Chaos.dm_mem_flat;
+      flag "tampered" mr.Fleet.Chaos.dm_tampered;
+      flag "key_stolen" mr.Fleet.Chaos.dm_key_stolen;
+      m "unprotected_mem_wanted_bytes" (float_of_int mr.Fleet.Chaos.dm_unprotected_mem_wanted_bytes))
+    r.Fleet.Chaos.d_mode_reports;
+  print_endline
+    "expectation: snic holds >= 0.8x benign goodput with flat defense memory; unmediated modes collapse"
+
+(* ------------------------------------------------------------------ *)
 (* Parallel shards: domain scaling curve + cross-domain determinism *)
 
 let par_section () =
@@ -1329,6 +1392,7 @@ let main () =
   oracle_section ();
   vf_section ();
   qos_section ();
+  ddos_section ();
   par_section ();
   microbenches ();
   write_metrics ();
@@ -1361,9 +1425,14 @@ let () =
     par_section ();
     write_metrics ();
     run_check ()
+  | Some "ddos" ->
+    print_endline "S-NIC DDoS bench (CuckooGuard SYN proxy across protection modes)";
+    ddos_section ();
+    write_metrics ();
+    run_check ()
   | Some other ->
     Printf.eprintf "unknown --only section: %s\n" other;
     Printf.eprintf "Usage: bench [--fast] [--only SECTION] [--domains N] [--json PATH] [--check BASELINE]\n";
-    Printf.eprintf "  valid sections: datapath, oracle, vf, qos, par\n";
+    Printf.eprintf "  valid sections: datapath, oracle, vf, qos, par, ddos\n";
     exit 124
   | None -> main ()

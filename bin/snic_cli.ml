@@ -140,11 +140,31 @@ let pack_cmd =
   in
   Cmd.v (Cmd.info "pack" ~doc:"Variable-page-size packing query") Term.(const run $ mb $ menu)
 
+(* An NF short name, validated through the registry so a typo lists the
+   valid names and exits through cmdliner's usage path (124). *)
+let nf_conv =
+  let parse s =
+    match Nf.Registry.find s with
+    | spec -> Ok spec.Nf.Registry.short
+    | exception Invalid_argument msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
 let ipc_cmd =
   let l2 = Arg.(value & opt int (4 lsl 20) & info [ "l2" ] ~doc:"L2 size in bytes") in
   let nfs = Arg.(value & opt int 4 & info [ "nfs" ] ~doc:"Co-tenancy degree (2-16)") in
-  let run l2 nfs seed =
-    let names = List.init nfs (fun i -> List.nth Uarch.Workload.names (i mod 6)) in
+  let nf_names =
+    Arg.(value & opt_all nf_conv []
+         & info [ "nf" ] ~docv:"NAME" ~doc:"Colocate exactly these NFs (repeatable); overrides $(b,--nfs)")
+  in
+  let run l2 nfs nf_names seed =
+    let names =
+      match nf_names with
+      | [] ->
+        let pool = Uarch.Workload.names in
+        List.init nfs (fun i -> List.nth pool (i mod List.length pool))
+      | names -> names
+    in
     let streams =
       Array.of_list
         (List.mapi (fun d n -> Uarch.Workload.rebase (Uarch.Workload.stream ~packets:800 ?seed n) ~domain:d) names)
@@ -154,7 +174,7 @@ let ipc_cmd =
       (Uarch.Cpu_model.degradation ~l2_bytes:l2 streams)
   in
   Cmd.v (Cmd.info "ipc" ~doc:"One IPC-degradation colocation run (Figure 5 point)")
-    Term.(const run $ l2 $ nfs $ seed_arg)
+    Term.(const run $ l2 $ nfs $ nf_names $ seed_arg)
 
 let dpi_cmd =
   let threads = Arg.(value & opt int 16 & info [ "threads" ] ~doc:"vDPI hardware threads") in
@@ -710,6 +730,64 @@ let qos_cmd =
        ~doc:"Per-tenant performance isolation: QoS credits on the shared fabric, latency SLOs and noisy-neighbor quarantine")
     Term.(const run $ seed_arg $ tenants $ rounds $ requests $ factor $ slo $ starve $ min_share $ max_p99)
 
+let ddos_cmd =
+  let flows = Arg.(value & opt int 256 & info [ "flows" ] ~docv:"N" ~doc:"Benign flows") in
+  let factor =
+    Arg.(value & opt int 10 & info [ "factor" ] ~docv:"X" ~doc:"Spoofed SYNs per benign packet (attack intensity)")
+  in
+  let pkts =
+    Arg.(value & opt int 4 & info [ "pkts-per-flow" ] ~docv:"K" ~doc:"Benign data packets after each handshake")
+  in
+  let log2_buckets =
+    Arg.(value & opt int 10 & info [ "log2-buckets" ] ~docv:"B" ~doc:"Whitelist cuckoo filter: 2^$(docv) buckets x 4 slots")
+  in
+  let min_goodput =
+    Arg.(value & opt float 0.8
+         & info [ "min-goodput" ] ~docv:"F"
+             ~doc:"Exit 1 if S-NIC-mode benign goodput under attack falls below $(docv) of the attack-free baseline")
+  in
+  let run seed flows factor pkts log2_buckets min_goodput =
+    let fail msg =
+      prerr_endline msg;
+      exit 2
+    in
+    if flows < 1 then fail "ddos: --flows must be >= 1";
+    if factor < 1 then fail "ddos: --factor must be >= 1";
+    if pkts < 1 then fail "ddos: --pkts-per-flow must be >= 1";
+    if log2_buckets < 1 || log2_buckets > 28 then fail "ddos: --log2-buckets must be in 1..28";
+    if min_goodput < 0. || min_goodput > 1. then fail "ddos: --min-goodput must be in [0,1]";
+    let config =
+      {
+        Fleet.Chaos.default_ddos_config with
+        Fleet.Chaos.d_seed = Option.value seed ~default:Fleet.Chaos.default_ddos_config.Fleet.Chaos.d_seed;
+        d_benign_flows = flows;
+        d_attack_factor = factor;
+        d_packets_per_flow = pkts;
+        d_log2_buckets = log2_buckets;
+      }
+    in
+    let r = Fleet.Chaos.run_ddos config in
+    print_string (Fleet.Chaos.ddos_summary r);
+    if r.Fleet.Chaos.d_snic_tampered || r.Fleet.Chaos.d_snic_key_stolen then begin
+      Printf.eprintf "ddos: FAIL S-NIC mode let the attacker reach NF memory (tampered=%b key_stolen=%b)\n"
+        r.Fleet.Chaos.d_snic_tampered r.Fleet.Chaos.d_snic_key_stolen;
+      exit 1
+    end;
+    if not r.Fleet.Chaos.d_snic_mem_flat then begin
+      Printf.eprintf "ddos: FAIL S-NIC-mode defense memory grew above its fixed reservation\n";
+      exit 1
+    end;
+    if r.Fleet.Chaos.d_snic_goodput_ratio < min_goodput then begin
+      Printf.eprintf "ddos: FAIL S-NIC-mode benign goodput %.4f below floor %.4f\n"
+        r.Fleet.Chaos.d_snic_goodput_ratio min_goodput;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "ddos"
+       ~doc:"CuckooGuard under a SYN flood: SYN-cookie proxy + cuckoo-filter whitelist across all five protection modes")
+    Term.(const run $ seed_arg $ flows $ factor $ pkts $ log2_buckets $ min_goodput)
+
 let trace_cmd =
   let scenario =
     Arg.(value & pos 0 (enum [ ("chaos", `Chaos); ("fleet", `Fleet) ]) `Chaos
@@ -779,5 +857,5 @@ let () =
           [
             attacks_cmd; dos_cmd; covert_cmd; probe_cmd; tco_cmd; overhead_cmd; tlb_cmd; pack_cmd; table6_cmd;
             ipc_cmd; dpi_cmd; fig5_cmd; fig8_cmd; timeline_cmd; fleet_cmd; chaos_cmd; datapath_cmd; oracle_cmd;
-            vf_cmd; qos_cmd; trace_cmd;
+            vf_cmd; qos_cmd; ddos_cmd; trace_cmd;
           ]))

@@ -175,3 +175,92 @@ val cycles_str : float option -> string
     ["invariants: unattested_running=0 scrub_failures=0 ..."] on a
     passing run. *)
 val summary : report -> string
+
+(** {1 DDoS: the CuckooGuard pair under adversarial traffic}
+
+    A seeded SYN-flood event stream ({!Trace.Attackgen.syn_flood}) is
+    replayed through the SYN-cookie split proxy backed by a cuckoo-filter
+    whitelist ({!Nf.Syn_proxy} -> {!Nf.Cuckoo}) once per protection mode.
+    Per mode, the attacker's reach into the NF's private memory is probed
+    with real machine accesses (the same checks as [lib/attacks]):
+
+    - if a cross-tenant {e write} lands ([tampered]), the attacker flips
+      whitelist bits and benign flows lose their admission;
+    - if a cross-tenant {e read} lands ([key_stolen]), the attacker
+      forges valid cookie echoes and saturates the fixed filter.
+
+    Each mode reports benign goodput relative to an attack-free baseline
+    pass, plus a no-defense conntrack proxy (per-SYN state at the same
+    byte budget) that collapses under state exhaustion.  Memory of the
+    protected pair stays flat at its reservation in every mode — the
+    fixed-memory defense the paper's isolation model makes safe. *)
+
+type ddos_config = {
+  d_seed : int;
+  d_benign_flows : int;
+  d_attack_factor : int;  (** spoofed SYNs per benign packet *)
+  d_packets_per_flow : int;  (** benign data packets after the handshake *)
+  d_fp_bits : int;  (** whitelist fingerprint bits *)
+  d_log2_buckets : int;  (** whitelist size: 2^k buckets x 4 slots *)
+  d_conntrack_entry_bytes : int;  (** naive per-SYN state, unprotected pass *)
+  d_corrupt_period : int;  (** tampered modes: one bit flip per k attack pkts *)
+  d_modes : Nicsim.Machine.mode list;
+}
+
+val ddos_modes : Nicsim.Machine.mode list
+(** The five evaluated protection modes (SE-UM with xkphys hiding). *)
+
+val default_ddos_config : ddos_config
+(** Seed 42, 256 benign flows, 10x attack factor, 2^10-bucket whitelist. *)
+
+val ddos_mode_id : Nicsim.Machine.mode -> string
+(** Short id ("se-s" .. "snic"), mirroring [Oracle.Campaign.mode_id]. *)
+
+type ddos_mode_report = {
+  dm_mode : Nicsim.Machine.mode;
+  dm_tampered : bool;  (** a cross-tenant write landed in NF memory *)
+  dm_key_stolen : bool;  (** a cross-tenant read of NF memory succeeded *)
+  dm_baseline_goodput : int;  (** benign data pkts delivered, no attack *)
+  dm_goodput : int;  (** benign data pkts delivered under attack *)
+  dm_unprotected_goodput : int;  (** naive conntrack proxy, no cookies *)
+  dm_goodput_ratio : float;
+  dm_unprotected_ratio : float;
+  dm_attack_pkts : int;
+  dm_attack_dropped : int;
+  dm_benign_dropped : int;
+  dm_challenges : int;
+  dm_admitted : int;
+  dm_forged_admits : int;  (** key-stolen modes: forged cookies accepted *)
+  dm_corrupt_flips : int;  (** tampered modes: filter bits flipped *)
+  dm_whitelist_load : float;
+  dm_mem_reserved_bytes : int;  (** proxy whitelist + tracker, fixed *)
+  dm_mem_peak_bytes : int;
+  dm_mem_flat : bool;  (** peak = reserved: the fixed-reservation story *)
+  dm_unprotected_mem_peak_bytes : int;
+  dm_unprotected_mem_wanted_bytes : int;  (** per-SYN state demand *)
+}
+
+type ddos_report = {
+  d_config : ddos_config;
+  d_mode_reports : ddos_mode_report list;
+  d_benign_pkts : int;
+  d_attack_pkts : int;
+  d_events_digest : int;  (** attack-generator determinism fingerprint *)
+  d_snic_goodput_ratio : float;
+  d_snic_mem_flat : bool;
+  d_snic_tampered : bool;
+  d_snic_key_stolen : bool;
+}
+
+(** [run_ddos ?sink config] — per mode: probe the attacker's reach, run
+    the attack-free baseline, the protected pass and the no-defense
+    conntrack pass over the same seeded event stream.  [sink] receives
+    the [ddos_*] hot-path counters of the protected passes.  Raises
+    [Invalid_argument] on an empty mode list, fewer than 1 benign flow,
+    an attack factor < 1 or a corrupt period < 1. *)
+val run_ddos : ?sink:Obs.sink -> ddos_config -> ddos_report
+
+(** Human-readable rollup; ends with the stable greppable line
+    ["invariants: snic_goodput=1.0000 snic_mem_flat=1 snic_tampered=0
+    snic_key_stolen=0"] on a passing run. *)
+val ddos_summary : ddos_report -> string

@@ -1,7 +1,16 @@
-type kind = Fw | Dpi | Nat | Lb | Lpm | Mon
+type kind = Fw | Dpi | Nat | Lb | Lpm | Mon | Ckf | Synp
 
-let all_kinds = [ Fw; Dpi; Nat; Lb; Lpm; Mon ]
-let kind_name = function Fw -> "FW" | Dpi -> "DPI" | Nat -> "NAT" | Lb -> "LB" | Lpm -> "LPM" | Mon -> "Mon"
+let all_kinds = [ Fw; Dpi; Nat; Lb; Lpm; Mon; Ckf; Synp ]
+
+let kind_name = function
+  | Fw -> "FW"
+  | Dpi -> "DPI"
+  | Nat -> "NAT"
+  | Lb -> "LB"
+  | Lpm -> "LPM"
+  | Mon -> "Mon"
+  | Ckf -> "CKF"
+  | Synp -> "SYNP"
 
 let kind_of_string s =
   match String.uppercase_ascii s with
@@ -11,7 +20,9 @@ let kind_of_string s =
   | "LB" -> Ok Lb
   | "LPM" -> Ok Lpm
   | "MON" -> Ok Mon
-  | _ -> Error (Printf.sprintf "unknown NF kind %S (want FW|DPI|NAT|LB|LPM|Mon)" s)
+  | "CKF" -> Ok Ckf
+  | "SYNP" -> Ok Synp
+  | _ -> Error (Printf.sprintf "unknown NF kind %S (want FW|DPI|NAT|LB|LPM|Mon|CKF|SYNP)" s)
 
 let profile k = Memprof.Profiles.find (kind_name k)
 
@@ -41,6 +52,7 @@ let instance_scale = function
   | Fw -> 0.05 (* ~32 rules *)
   | Dpi -> 0.002 (* ~66 patterns *)
   | Lpm -> 0.02 (* ~320 routes *)
+  | Ckf | Synp -> 0.05 (* ~2^7-bucket filters *)
   | Nat | Lb | Mon -> 1.0 (* scale-independent builders *)
 
 let nf_instance kind = (Nf.Registry.find (kind_name kind)).Nf.Registry.build ~scale:(instance_scale kind) ()

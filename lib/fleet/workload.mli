@@ -1,7 +1,8 @@
 (** Tenant workloads for the fleet orchestrator.
 
     A tenant rents a virtual smart NIC for one of the paper's six
-    evaluation NFs. Its *demand* — how much on-NIC RAM, how many cores,
+    evaluation NFs or the CuckooGuard DDoS-defense pair (CKF / SYNP).
+    Its *demand* — how much on-NIC RAM, how many cores,
     which accelerator clusters, and how many locked TLB entries — is
     derived from the measured memory profiles of {!Memprof.Profiles}
     (Table 6). RAM demands are scaled down by a configurable factor so a
@@ -9,7 +10,7 @@
     the *full-scale* regions, because that is what sizes the real locked
     TLBs (§5.2). *)
 
-type kind = Fw | Dpi | Nat | Lb | Lpm | Mon
+type kind = Fw | Dpi | Nat | Lb | Lpm | Mon | Ckf | Synp
 
 val all_kinds : kind list
 val kind_name : kind -> string
@@ -21,7 +22,7 @@ val profile : kind -> Memprof.Profiles.t
 type demand = {
   kind : kind;
   mem_bytes : int; (* scaled on-NIC RAM reservation *)
-  cores : int; (* programmable cores (1 for all six NFs) *)
+  cores : int; (* programmable cores (1 for every NF kind) *)
   accels : (Nicsim.Accel.kind * int) list; (* accelerator clusters *)
   regions : int list; (* full-scale region bytes, for TLB budgeting *)
 }
@@ -39,6 +40,6 @@ val tlb_entries : demand -> page_sizes:int list -> int
     64-tenant fleet builds quickly). *)
 val nf_instance : kind -> Nf.Types.t
 
-(** Deterministic kind assignment for tenant [i] (cycles through all six
-    kinds so every fleet carries a balanced mix). *)
+(** Deterministic kind assignment for tenant [i] (cycles through all
+    eight kinds so every fleet carries a balanced mix). *)
 val kind_of_index : int -> kind

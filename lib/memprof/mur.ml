@@ -37,7 +37,9 @@ let table8 () =
     let series = Timeline.monitor () in
     row_of "Mon" ~used_mb:(Timeline.final_mb series)
   in
-  [ exact "FW"; exact "DPI"; nat; lb; exact "LPM"; mon ]
+  (* CKF / SYNP preallocate a fixed cuckoo-filter reservation that is
+     fully used by design (§4.8): used = preallocated, MUR 100%. *)
+  [ exact "FW"; exact "DPI"; nat; lb; exact "LPM"; mon; exact "CKF"; exact "SYNP" ]
 
 let find name =
   match List.find_opt (fun r -> String.equal r.name name) (table8 ()) with

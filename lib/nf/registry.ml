@@ -35,6 +35,22 @@ let build_lpm ?probe ~scale () =
 
 let build_mon ?probe ~scale:_ () = Monitor.nf (Monitor.create ?probe ())
 
+(* CuckooGuard pair: filter sized by [scale] in whole log2 steps so the
+   paper-scale (1.0) filter holds 2^14 buckets x 4 slots = 64 Ki flows
+   in a fixed 128 KiB reservation. *)
+let ckf_log2_buckets ~scale =
+  let shift = if scale >= 1.0 then 0 else if scale >= 0.1 then -4 else -7 in
+  max 4 (14 + shift)
+
+let build_ckf ?probe ~scale () =
+  Cuckoo.nf (Cuckoo.nf_create ?probe ~fp_bits:12 ~log2_buckets:(ckf_log2_buckets ~scale) ())
+
+let synp_key = lazy (Crypto.Hmac.derive ~secret:"snic-nf-registry" ~label:"synp-cookie")
+
+let build_synp ?probe ~scale () =
+  Syn_proxy.nf
+    (Syn_proxy.create ?probe ~fp_bits:12 ~log2_buckets:(ckf_log2_buckets ~scale) ~key:(Lazy.force synp_key) ())
+
 let all =
   [
     { short = "FW"; description = "stateful firewall, Emerging-Threats-like rules + flow cache"; build = build_fw };
@@ -43,9 +59,14 @@ let all =
     { short = "LB"; description = "Maglev consistent-hashing load balancer"; build = build_lb };
     { short = "LPM"; description = "DIR-24-8 longest prefix match routing"; build = build_lpm };
     { short = "Mon"; description = "per-flow packet counter"; build = build_mon };
+    { short = "CKF"; description = "cuckoo-filter flow tracker, fixed-memory approximate set"; build = build_ckf };
+    { short = "SYNP"; description = "SYN-cookie split proxy, cuckoo-filter whitelist"; build = build_synp };
   ]
+
+let short_names () = String.concat ", " (List.map (fun s -> s.short) all)
 
 let find short =
   match List.find_opt (fun s -> String.equal s.short short) all with
   | Some s -> s
-  | None -> invalid_arg ("Nf.Registry.find: unknown NF " ^ short)
+  | None ->
+    invalid_arg (Printf.sprintf "Nf.Registry.find: unknown NF %S (valid short names: %s)" short (short_names ()))

@@ -55,6 +55,11 @@ type stat =
   | Qos_throttle
   | Qos_borrow
   | Slo_violation
+  | Ddos_syn_challenge
+  | Ddos_admit
+  | Ddos_attack_drop
+  | Ddos_benign_drop
+  | Ddos_goodput_pkt
 
 let stat_index = function
   | Tlb_hit -> 0
@@ -82,8 +87,13 @@ let stat_index = function
   | Qos_throttle -> 22
   | Qos_borrow -> 23
   | Slo_violation -> 24
+  | Ddos_syn_challenge -> 25
+  | Ddos_admit -> 26
+  | Ddos_attack_drop -> 27
+  | Ddos_benign_drop -> 28
+  | Ddos_goodput_pkt -> 29
 
-let n_stats = 25
+let n_stats = 30
 
 let stat_name = function
   | Tlb_hit -> "snic_tlb_hit_total"
@@ -111,13 +121,18 @@ let stat_name = function
   | Qos_throttle -> "snic_qos_throttle_total"
   | Qos_borrow -> "snic_qos_borrow_total"
   | Slo_violation -> "snic_qos_slo_violation_total"
+  | Ddos_syn_challenge -> "snic_ddos_syn_challenge_total"
+  | Ddos_admit -> "snic_ddos_admit_total"
+  | Ddos_attack_drop -> "snic_ddos_attack_drop_total"
+  | Ddos_benign_drop -> "snic_ddos_benign_drop_total"
+  | Ddos_goodput_pkt -> "snic_ddos_goodput_pkt_total"
 
 let all_stats =
   [
     Tlb_hit; Tlb_miss; Cache_hit; Cache_miss; Cache_evict; Cache_fill; Bus_grant; Bus_stall;
     Dma_start; Dma_complete; Dma_fault; Accel_dispatch; Accel_retire; Sched_switch; Pktio_rx;
     Pktio_tx; Pktio_drop; Vf_tx; Vf_rx; Vf_drop; Vf_doorbell; Qos_grant; Qos_throttle; Qos_borrow;
-    Slo_violation;
+    Slo_violation; Ddos_syn_challenge; Ddos_admit; Ddos_attack_drop; Ddos_benign_drop; Ddos_goodput_pkt;
   ]
 
 type recorder = {

@@ -78,6 +78,11 @@ type stat =
   | Qos_throttle
   | Qos_borrow
   | Slo_violation
+  | Ddos_syn_challenge
+  | Ddos_admit
+  | Ddos_attack_drop
+  | Ddos_benign_drop
+  | Ddos_goodput_pkt
 
 val stat_name : stat -> string
 (** Registry name of a hot-path counter, e.g. ["snic_tlb_hit_total"]. *)

@@ -1,20 +1,45 @@
+(* Rejection sampling stays fast while the drawn region of the tuple
+   space is sparse, but an adversarial draw count (spoofed-source storms
+   ask for millions of distinct tuples) could in principle make the
+   retry loop degrade or spin.  Retries per tuple are bounded; past the
+   bound we fall back to a counter-derived range that is disjoint from
+   anything sampling can produce: the fallback pins [dst_port] to a
+   value outside the sampled port set and packs the counter injectively
+   into the source address/port bits, so fallback tuples collide neither
+   with sampled tuples nor with each other. *)
+let max_rejects = 16
+let fallback_dst_port = 40000
+
 let flows rng ~n =
   let seen = Hashtbl.create (2 * n) in
+  let counter = ref 0 in
+  let fallback () =
+    let c = !counter in
+    incr counter;
+    let src_port = 1024 + (c mod 64512) in
+    let q = c / 64512 in
+    let src_ip = Net.Ipv4_addr.of_octets 10 ((q lsr 16) land 0xff) ((q lsr 8) land 0xff) (q land 0xff) in
+    let dst_ip = Net.Ipv4_addr.of_octets 100 64 0 1 in
+    Net.Five_tuple.make ~src_ip ~dst_ip ~proto:6 ~src_port ~dst_port:fallback_dst_port
+  in
   let fresh () =
-    let rec go () =
-      let src_ip = Net.Ipv4_addr.of_octets 10 (Rng.int rng 256) (Rng.int rng 256) (Rng.int rng 254 + 1) in
-      let dst_ip = Net.Ipv4_addr.of_octets (Rng.int rng 223 + 1) (Rng.int rng 256) (Rng.int rng 256) (Rng.int rng 254 + 1) in
-      let proto = if Rng.int rng 100 < 80 then 6 else 17 in
-      let src_port = 1024 + Rng.int rng (65536 - 1024) in
-      let dst_port = Rng.pick rng [| 80; 443; 53; 22; 8080; 25; 3306 |] in
-      let ft = Net.Five_tuple.make ~src_ip ~dst_ip ~proto ~src_port ~dst_port in
-      if Hashtbl.mem seen ft then go ()
+    let rec go tries =
+      if tries >= max_rejects then fallback ()
       else begin
-        Hashtbl.add seen ft ();
-        ft
+        let src_ip = Net.Ipv4_addr.of_octets 10 (Rng.int rng 256) (Rng.int rng 256) (Rng.int rng 254 + 1) in
+        let dst_ip = Net.Ipv4_addr.of_octets (Rng.int rng 223 + 1) (Rng.int rng 256) (Rng.int rng 256) (Rng.int rng 254 + 1) in
+        let proto = if Rng.int rng 100 < 80 then 6 else 17 in
+        let src_port = 1024 + Rng.int rng (65536 - 1024) in
+        let dst_port = Rng.pick rng [| 80; 443; 53; 22; 8080; 25; 3306 |] in
+        let ft = Net.Five_tuple.make ~src_ip ~dst_ip ~proto ~src_port ~dst_port in
+        if Hashtbl.mem seen ft then go (tries + 1)
+        else begin
+          Hashtbl.add seen ft ();
+          ft
+        end
       end
     in
-    go ()
+    go 0
   in
   Array.init n (fun _ -> fresh ())
 
@@ -37,6 +62,13 @@ let packet_of_flow ?payload_len rng (flow : Net.Five_tuple.t) =
 
 let figure8_frame_sizes = [ 64; 512; 1500; 9000 ]
 
+(* Ethernet's minimum frame is 64 bytes on the wire; a headers-only TCP
+   segment (14 + 20 + 20 = 54 B) must be padded up to it, never emitted
+   short.  Clamping the payload at [min_frame - hdr] instead of 0 keeps
+   every generated frame at or above the minimum without changing any of
+   the Figure-8 sizes (all >= 64 B). *)
+let min_frame = 64
+
 let payload_for_frame ~frame_size ~proto =
   let hdr = 14 + 20 + (match proto with Net.Packet.Tcp -> 20 | Net.Packet.Udp -> 8) in
-  max 0 (frame_size - hdr)
+  max (frame_size - hdr) (min_frame - hdr)

@@ -1,7 +1,12 @@
 (** Synthetic flow and packet generation. *)
 
 (** [flows rng ~n] draws [n] distinct TCP/UDP 5-tuples with private
-    source addresses and public destinations. *)
+    source addresses and public destinations.  Distinctness is by
+    bounded rejection sampling: after [max_rejects] consecutive
+    collisions a tuple is taken from a counter-derived range (dst port
+    pinned to a value outside the sampled set) that is disjoint from
+    everything sampling can produce, so generation is O(n) even at
+    spoofed-storm scale (n >= 10^6). *)
 val flows : Rng.t -> n:int -> Net.Five_tuple.t array
 
 (** [packet_of_flow ?payload_len rng flow] materializes a packet for
@@ -14,5 +19,7 @@ val packet_of_flow : ?payload_len:int -> Rng.t -> Net.Five_tuple.t -> Net.Packet
 val figure8_frame_sizes : int list
 
 (** [payload_for_frame ~frame_size ~proto] is the payload length that
-    yields a [frame_size]-byte wire frame (clamped at 0). *)
+    yields a [frame_size]-byte wire frame, clamped so the frame never
+    falls below the 64 B Ethernet minimum (a headers-only TCP segment is
+    padded, not emitted short). *)
 val payload_for_frame : frame_size:int -> proto:Net.Packet.proto -> int

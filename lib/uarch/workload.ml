@@ -1,4 +1,4 @@
-let names = [ "FW"; "DPI"; "NAT"; "LB"; "LPM"; "Mon" ]
+let names = [ "FW"; "DPI"; "NAT"; "LB"; "LPM"; "Mon"; "CKF"; "SYNP" ]
 
 type t = { nf : string; addrs : int array; packets : int; instructions : int; exec_cycles_per_access : int }
 
@@ -16,6 +16,8 @@ let exec_cycles nf =
   | "LB" -> 220
   | "LPM" -> 200
   | "Mon" -> 200
+  | "CKF" -> 190
+  | "SYNP" -> 240 (* cookie MAC compute between bucket probes *)
   | _ -> 200
 
 (* Synthetic address-space layout for one NF instance. *)
@@ -38,6 +40,7 @@ let entry_bytes nf region =
   | "LPM", 0 -> 2
   | "LPM", _ -> 2
   | "Mon", _ -> 113
+  | "CKF", _ | "SYNP", _ -> 8 (* one 4-slot bucket of 12-bit fingerprints *)
   | _ -> 64
 
 let working_set_bytes nf =
@@ -48,6 +51,9 @@ let working_set_bytes nf =
   | "LB" -> 65_537 * 8
   | "LPM" -> (1 lsl 24) * 2
   | "Mon" -> 100_000 * 113
+  (* CuckooGuard pair: the fixed 2^14-bucket filter reservation —
+     cache-resident by design, which is the point of the defense. *)
+  | "CKF" | "SYNP" -> (1 lsl 14) * 8
   | _ -> invalid_arg ("Uarch.Workload: unknown NF " ^ nf)
 
 (* A growable int vector (no Dynarray before OCaml 5.2). *)

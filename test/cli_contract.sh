@@ -35,7 +35,7 @@ check_bad_flag() {
   esac
 }
 
-for sub in fleet chaos trace datapath oracle vf qos attacks; do
+for sub in fleet chaos trace datapath oracle vf qos ddos attacks; do
   check_help "$sub"
   check_bad_flag "$sub"
 done
@@ -101,7 +101,34 @@ set +e
 [ $? -eq 2 ] || fail "'qos --rounds 0' should exit 2"
 "$cli" qos --slo 0 > /dev/null 2>&1
 [ $? -eq 2 ] || fail "'qos --slo 0' should exit 2"
+
+# ddos-specific validation: at least one benign flow, a positive attack
+# factor and a sane whitelist size are status-2 errors from our checks.
+"$cli" ddos --flows 0 > /dev/null 2>&1
+[ $? -eq 2 ] || fail "'ddos --flows 0' should exit 2"
+"$cli" ddos --factor 0 > /dev/null 2>&1
+[ $? -eq 2 ] || fail "'ddos --factor 0' should exit 2"
+"$cli" ddos --log2-buckets 99 > /dev/null 2>&1
+[ $? -eq 2 ] || fail "'ddos --log2-buckets 99' should exit 2"
 set -e
+
+# An unknown NF short name anywhere a command takes one is a cmdliner
+# conv error (124 + usage) that lists the valid names, driven by
+# Nf.Registry.find's descriptive Invalid_argument.
+set +e
+err=$("$cli" ipc --nf NOPE 2>&1 > /dev/null)
+status=$?
+set -e
+[ "$status" -eq 124 ] || fail "'ipc --nf NOPE' exited $status, want 124"
+case "$err" in
+  *Usage:*) : ;;
+  *) fail "'ipc --nf NOPE' printed no usage line" ;;
+esac
+# cmdliner re-wraps the message, so match the parts, not the phrase.
+case "$err" in
+  *"valid short"*SYNP*) : ;;
+  *) fail "'ipc --nf NOPE' error does not list the valid NF short names" ;;
+esac
 
 # bench --only: unknown sections are 124 + usage, known sections are
 # listed in the message (kept in sync with bench/main.ml's dispatch).
@@ -124,6 +151,10 @@ if [ -n "$bench" ]; then
     *par*) : ;;
     *) fail "'bench --only' usage does not list the par section" ;;
   esac
+  case "$err" in
+    *ddos*) : ;;
+    *) fail "'bench --only' usage does not list the ddos section" ;;
+  esac
 
   # bench --domains follows the same convention: zero or non-numeric
   # values are 124 + usage before any section runs.
@@ -140,4 +171,4 @@ if [ -n "$bench" ]; then
   done
 fi
 
-echo "cli contract holds (fleet chaos trace datapath oracle vf qos attacks; --domains; bench --only)"
+echo "cli contract holds (fleet chaos trace datapath oracle vf qos ddos attacks; --domains; --nf; bench --only)"

@@ -26,5 +26,6 @@ let () =
       ("oracle", Test_oracle.suite);
       ("vf", Test_vf.suite);
       ("qos", Test_qos.suite);
+      ("ddos", Test_ddos.suite);
       ("par", Test_par.suite);
     ]

@@ -301,12 +301,14 @@ let test_registry_builds_and_processes () =
         (Trace.Tracegen.packets trace);
       Alcotest.(check int) (spec.short ^ " saw all packets") 100 (!forwarded + !dropped))
     Nf.Registry.all;
-  Alcotest.(check int) "six NFs" 6 (List.length Nf.Registry.all)
+  Alcotest.(check int) "eight NFs" 8 (List.length Nf.Registry.all)
 
 let test_registry_find () =
   Alcotest.(check string) "find LPM" "LPM" (Nf.Registry.find "LPM").short;
-  Alcotest.check_raises "unknown" (Invalid_argument "Nf.Registry.find: unknown NF XXX") (fun () ->
-      ignore (Nf.Registry.find "XXX"))
+  Alcotest.check_raises "unknown"
+    (Invalid_argument
+       "Nf.Registry.find: unknown NF \"XXX\" (valid short names: FW, DPI, NAT, LB, LPM, Mon, CKF, SYNP)")
+    (fun () -> ignore (Nf.Registry.find "XXX"))
 
 let suite =
   [

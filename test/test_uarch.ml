@@ -91,7 +91,7 @@ let suite =
 let test_figure5_apis () =
   (* Tiny parameterizations: the full sweeps run in the bench. *)
   let f5a = Uarch.Colocation.figure5a ~l2_sizes:[ 64 * 1024 ] ~packets:150 () in
-  Alcotest.(check int) "six NFs" 6 (List.length f5a);
+  Alcotest.(check int) "eight NFs" 8 (List.length f5a);
   List.iter
     (fun (nf, series) ->
       match series with
@@ -103,7 +103,7 @@ let test_figure5_apis () =
       | _ -> Alcotest.fail "expected one size")
     f5a;
   let f5b = Uarch.Colocation.figure5b ~cotenancy:[ 2 ] ~samples:2 ~packets:150 () in
-  Alcotest.(check int) "six NFs again" 6 (List.length f5b)
+  Alcotest.(check int) "eight NFs again" 8 (List.length f5b)
 
 let test_figure8_shape () =
   let points = Uarch.Figure8.figure8 ~packets:800 () in
