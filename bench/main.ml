@@ -979,6 +979,10 @@ let par_speedup_floor = 2.5
    attack-free baseline pass. *)
 let ddos_goodput_floor = 0.8
 
+(* Goodput with the mid-run tracker-NIC kill + failover, relative to the
+   failure-free baseline pass of the same fabric run. *)
+let fabric_goodput_floor = 0.9
+
 let section_ran name = only = None || only = Some name
 
 let run_check () =
@@ -1055,6 +1059,33 @@ let run_check () =
            | Some _ -> ()
            | None -> fail "%s: missing from this run" key)
          [ "ddos.snic.tampered"; "ddos.snic.key_stolen" ]
+     end);
+    (if section_ran "fabric" then begin
+       (* The event-stream digest is an identity: exact match or the
+          benign replay is not the committed one. *)
+       (match (List.assoc_opt "fabric.events_digest" baseline, List.assoc_opt "fabric.events_digest" current) with
+       | Some expect, Some got when got <> expect ->
+         fail "fabric.events_digest: %.0f vs baseline %.0f (digests must match exactly)" got expect
+       | _ -> ());
+       (match List.assoc_opt "fabric.goodput_ratio" current with
+       | Some g when g < fabric_goodput_floor ->
+         fail "fabric.goodput_ratio: %.4f is below the %.2f floor" g fabric_goodput_floor
+       | Some _ -> ()
+       | None -> fail "fabric.goodput_ratio: missing from this run");
+       List.iter
+         (fun key ->
+           match List.assoc_opt key current with
+           | Some v when v <> 0. -> fail "%s: %.0f (must be 0)" key v
+           | Some _ -> ()
+           | None -> fail "%s: missing from this run" key)
+         [ "fabric.benign_mac_failures"; "fabric.oracle_snic_violations" ];
+       List.iter
+         (fun key ->
+           match List.assoc_opt key current with
+           | Some v when v <> 1. -> fail "%s: %.0f (must be 1)" key v
+           | Some _ -> ()
+           | None -> fail "%s: missing from this run" key)
+         [ "fabric.adversary_all_rejected"; "fabric.fail_closed"; "fabric.failed_over"; "fabric.consistent" ]
      end);
     (if section_ran "par" then begin
        (* Digests are identities, not measurements: the generic 25%
@@ -1272,6 +1303,56 @@ let ddos_section () =
     "expectation: snic holds >= 0.8x benign goodput with flat defense memory; unmediated modes collapse"
 
 (* ------------------------------------------------------------------ *)
+(* Fabric: attested NIC-to-NIC channels + cross-NIC chain failover *)
+
+let fabric_section () =
+  header "Attested fabric (lib/fabric): cross-NIC CuckooGuard chain + failover";
+  let t0 = Sys.time () in
+  let config = { Fleet.Chaos.default_fabric_config with Fleet.Chaos.f_seed = seed } in
+  let r = Fleet.Chaos.run_fabric config in
+  let secs = Sys.time () -. t0 in
+  print_string (Fleet.Chaos.fabric_summary r);
+  Printf.printf "(%.2fs)\n" secs;
+  let m name v = metric ("fabric." ^ name) v in
+  let flag name b = m name (if b then 1. else 0.) in
+  m "events_digest" (float_of_int r.Fleet.Chaos.f_events_digest);
+  m "benign_pkts" (float_of_int r.Fleet.Chaos.f_benign_pkts);
+  m "handshakes" (float_of_int r.Fleet.Chaos.f_handshakes);
+  m "hops" (float_of_int r.Fleet.Chaos.f_hops);
+  m "admitted" (float_of_int r.Fleet.Chaos.f_admitted);
+  m "goodput_ratio" r.Fleet.Chaos.f_goodput_ratio;
+  m "benign_mac_failures" (float_of_int r.Fleet.Chaos.f_benign_mac_failures);
+  m "replay_rejected" (float_of_int r.Fleet.Chaos.f_replay_rejected);
+  m "stale_rejected" (float_of_int r.Fleet.Chaos.f_stale_rejected);
+  m "tamper_rejected" (float_of_int r.Fleet.Chaos.f_tamper_rejected);
+  flag "adversary_all_rejected"
+    (r.Fleet.Chaos.f_replay_rejected = r.Fleet.Chaos.f_replay_sent
+    && r.Fleet.Chaos.f_stale_rejected = r.Fleet.Chaos.f_stale_sent
+    && r.Fleet.Chaos.f_tamper_rejected = r.Fleet.Chaos.f_tamper_sent);
+  m "state_replayed" (float_of_int r.Fleet.Chaos.f_state_replayed);
+  m "state_recovered" (float_of_int r.Fleet.Chaos.f_state_recovered);
+  flag "failed_over" r.Fleet.Chaos.f_failed_over;
+  flag "fail_closed" (Fleet.Chaos.fabric_fail_closed r);
+  (* The same run at 1 and 4 domains must produce the same summary —
+     the rack boot is the only fanned-out stage and it is seeded. *)
+  let digest domains =
+    Par.Digest.strings [ Fleet.Chaos.fabric_summary (Fleet.Chaos.run_fabric_with ~domains config) ]
+  in
+  let d1 = digest 1 and d4 = digest 4 in
+  Printf.printf "summary digest: %d (1 domain) vs %d (4 domains) — %s\n" d1 d4
+    (if d1 = d4 then "identical" else "DIVERGED");
+  flag "consistent" (d1 = d4);
+  (* The differential oracle with channel ops in the alphabet: S-NIC
+     mode must stay clean with attested channels in play. *)
+  let ops = if fast then 4_000 else 20_000 in
+  let o = Oracle.Campaign.run ~fabric:true ~mode:Nicsim.Machine.Snic ~ops ~seed () in
+  Printf.printf "oracle snic + chan ops: %d ops, %d executed, %d violations\n" ops o.Oracle.Campaign.executed
+    (List.length o.Oracle.Campaign.violations);
+  m "oracle_snic_violations" (float_of_int (List.length o.Oracle.Campaign.violations));
+  print_endline
+    "expectation: zero benign MAC failures, every forged/replayed frame bounced, goodput unchanged by failover"
+
+(* ------------------------------------------------------------------ *)
 (* Parallel shards: domain scaling curve + cross-domain determinism *)
 
 let par_section () =
@@ -1393,6 +1474,7 @@ let main () =
   vf_section ();
   qos_section ();
   ddos_section ();
+  fabric_section ();
   par_section ();
   microbenches ();
   write_metrics ();
@@ -1430,9 +1512,14 @@ let () =
     ddos_section ();
     write_metrics ();
     run_check ()
+  | Some "fabric" ->
+    print_endline "S-NIC fabric bench (attested NIC-to-NIC channels, cross-NIC chain failover)";
+    fabric_section ();
+    write_metrics ();
+    run_check ()
   | Some other ->
     Printf.eprintf "unknown --only section: %s\n" other;
     Printf.eprintf "Usage: bench [--fast] [--only SECTION] [--domains N] [--json PATH] [--check BASELINE]\n";
-    Printf.eprintf "  valid sections: datapath, oracle, vf, qos, par, ddos\n";
+    Printf.eprintf "  valid sections: datapath, oracle, vf, qos, par, ddos, fabric\n";
     exit 124
   | None -> main ()

@@ -11,6 +11,7 @@
      snic_cli fleet [--nics N ...]    — seeded multi-NIC fleet scenario
      snic_cli chaos [--intensity X ...] — gray-failure storm + self-healing
      snic_cli datapath [--bytes N]    — bulk vs per-byte Physmem probe
+     snic_cli fabric [--nics N ...]   — attested NIC-to-NIC fabric + failover
      snic_cli trace chaos --out t.json — record a Chrome trace of a scenario *)
 
 open Cmdliner
@@ -523,17 +524,24 @@ let oracle_cmd =
          & info [ "dump" ] ~docv:"FILE" ~doc:"Write the executed (or, with --shrink, the shrunk) trace to $(docv)")
   in
   let shrink = Arg.(value & flag & info [ "shrink" ] ~doc:"Delta-debug the first violation down to a minimal trace") in
+  let fabric_ops =
+    Arg.(value & flag
+         & info [ "fabric-ops" ]
+             ~doc:"Mix attested-channel ops (chanopen/chansend/chanreplay) into the generated alphabet")
+  in
   let expect =
     Arg.(value & opt (some (enum [ ("clean", `Clean); ("violations", `Violations) ])) None
          & info [ "expect" ] ~docv:"WHAT" ~doc:"Exit 1 unless the run is $(b,clean) / has $(b,violations)")
   in
-  let run seed mode ops slots replay dump shrink expect domains shards =
+  let run seed mode ops slots replay dump shrink fabric_ops expect domains shards =
     let fail msg =
       prerr_endline msg;
       exit 2
     in
     if slots < 1 || slots > 8 then fail "oracle: --slots must be in 1..8";
     if ops < 0 then fail "oracle: --ops must be non-negative";
+    if fabric_ops && replay <> None then
+      fail "oracle: --fabric-ops applies to generated runs (drop --replay)";
     (* --domains N with no explicit --shards means "a real parallel
        campaign": one shard per domain.  Any shard replays alone with
        --shards K --domains 1 (or via its derived seed) — PARALLELISM.md
@@ -546,7 +554,7 @@ let oracle_cmd =
       | None -> fail "oracle: --mode is required (or use --replay FILE)"
       | Some mode ->
         let seed = Option.value seed ~default:42 in
-        let reports = Oracle.Campaign.run_sharded ~domains ~slots ~mode ~ops ~seed ~shards () in
+        let reports = Oracle.Campaign.run_sharded ~domains ~slots ~fabric:fabric_ops ~mode ~ops ~seed ~shards () in
         Array.iteri
           (fun i r ->
             Printf.printf "=== shard %d (seed %s) ===\n" i
@@ -580,7 +588,7 @@ let oracle_cmd =
         | None -> fail "oracle: --mode is required (or use --replay FILE)"
         | Some m ->
           let seed = Option.value seed ~default:42 in
-          (m, slots, Oracle.Campaign.gen_ops ~slots ~ops ~seed, Some seed))
+          (m, slots, Oracle.Campaign.gen_ops ~fabric:fabric_ops ~slots ~ops ~seed (), Some seed))
     in
     let report = { (Oracle.Campaign.replay ~slots ~mode ops_list) with Oracle.Campaign.seed = seed_used } in
     print_string (Oracle.Campaign.to_string report);
@@ -614,7 +622,9 @@ let oracle_cmd =
   Cmd.v
     (Cmd.info "oracle"
        ~doc:"Model-based isolation oracle: differential fuzzing of the machine against a flat reference model")
-    Term.(const run $ seed_arg $ mode $ ops $ slots $ replay $ dump $ shrink $ expect $ domains_arg $ shards_arg)
+    Term.(
+      const run $ seed_arg $ mode $ ops $ slots $ replay $ dump $ shrink $ fabric_ops $ expect $ domains_arg
+      $ shards_arg)
 
 let vf_cmd =
   let nics = Arg.(value & opt int 1 & info [ "nics" ] ~docv:"N" ~doc:"Independent NICs to drive") in
@@ -788,6 +798,120 @@ let ddos_cmd =
        ~doc:"CuckooGuard under a SYN flood: SYN-cookie proxy + cuckoo-filter whitelist across all five protection modes")
     Term.(const run $ seed_arg $ flows $ factor $ pkts $ log2_buckets $ min_goodput)
 
+let fabric_cmd =
+  let nics = Arg.(value & opt int 3 & info [ "nics" ] ~docv:"N" ~doc:"NICs in the rack (proxy, tracker, spare)") in
+  let flows = Arg.(value & opt int 96 & info [ "flows" ] ~docv:"F" ~doc:"Benign flows through the split chain") in
+  let pkts =
+    Arg.(value & opt int 4 & info [ "pkts-per-flow" ] ~docv:"K" ~doc:"Benign data packets after each handshake")
+  in
+  let window =
+    Arg.(value & opt int 32 & info [ "window" ] ~docv:"W" ~doc:"Receiver anti-replay window (1..62)")
+  in
+  let buffer =
+    Arg.(value & opt int 2048 & info [ "buffer" ] ~docv:"B" ~doc:"Sender replay-buffer capacity (failover state)")
+  in
+  let replay = Arg.(value & opt int 24 & info [ "replay" ] ~docv:"N" ~doc:"Adversarial in-window re-deliveries") in
+  let reorder = Arg.(value & opt int 24 & info [ "reorder" ] ~docv:"N" ~doc:"Adversarial pre-window re-deliveries") in
+  let tamper = Arg.(value & opt int 16 & info [ "tamper" ] ~docv:"N" ~doc:"Adversarial bit-flipped frames") in
+  let no_kill = Arg.(value & flag & info [ "no-kill" ] ~doc:"Skip the mid-run tracker-NIC kill and failover") in
+  let min_goodput =
+    Arg.(value & opt float 0.9
+         & info [ "min-goodput" ] ~docv:"F"
+             ~doc:"Exit 1 if goodput with the failover falls below $(docv) of the failure-free baseline")
+  in
+  let run seed nics flows pkts window buffer replay reorder tamper no_kill min_goodput metrics domains shards =
+    let fail msg =
+      prerr_endline msg;
+      exit 2
+    in
+    if nics < 3 then fail "fabric: --nics must be >= 3 (proxy, tracker, failover spare)";
+    if flows < 1 then fail "fabric: --flows must be >= 1";
+    if pkts < 1 then fail "fabric: --pkts-per-flow must be >= 1";
+    if window < 1 || window > 62 then fail "fabric: --window must be in 1..62";
+    if buffer < 0 then fail "fabric: --buffer must be >= 0";
+    if replay < 0 || reorder < 0 || tamper < 0 then
+      fail "fabric: --replay/--reorder/--tamper must be >= 0";
+    if min_goodput < 0. || min_goodput > 1. then fail "fabric: --min-goodput must be in [0,1]";
+    let config =
+      {
+        Fleet.Chaos.default_fabric_config with
+        Fleet.Chaos.f_seed = Option.value seed ~default:Fleet.Chaos.default_fabric_config.Fleet.Chaos.f_seed;
+        f_nics = nics;
+        f_flows = flows;
+        f_packets_per_flow = pkts;
+        f_window = window;
+        f_buffer = buffer;
+        f_replay = replay;
+        f_reorder = reorder;
+        f_tamper = tamper;
+        f_kill = not no_kill;
+      }
+    in
+    (* The gates the CI fabric-smoke job pins: an authenticated channel
+       must bounce every forged/replayed frame, never a benign one, and
+       the failover must not cost goodput. *)
+    let gate (r : Fleet.Chaos.fabric_report) =
+      if r.Fleet.Chaos.f_benign_mac_failures > 0 then begin
+        Printf.eprintf "fabric: FAIL %d benign frame(s) tripped the authenticator\n"
+          r.Fleet.Chaos.f_benign_mac_failures;
+        exit 1
+      end;
+      if r.Fleet.Chaos.f_replay_rejected <> r.Fleet.Chaos.f_replay_sent then begin
+        Printf.eprintf "fabric: FAIL replay rejections %d/%d\n" r.Fleet.Chaos.f_replay_rejected
+          r.Fleet.Chaos.f_replay_sent;
+        exit 1
+      end;
+      if r.Fleet.Chaos.f_stale_rejected <> r.Fleet.Chaos.f_stale_sent then begin
+        Printf.eprintf "fabric: FAIL stale rejections %d/%d\n" r.Fleet.Chaos.f_stale_rejected
+          r.Fleet.Chaos.f_stale_sent;
+        exit 1
+      end;
+      if r.Fleet.Chaos.f_tamper_rejected <> r.Fleet.Chaos.f_tamper_sent then begin
+        Printf.eprintf "fabric: FAIL tamper rejections %d/%d\n" r.Fleet.Chaos.f_tamper_rejected
+          r.Fleet.Chaos.f_tamper_sent;
+        exit 1
+      end;
+      if not (Fleet.Chaos.fabric_fail_closed r) then begin
+        prerr_endline "fabric: FAIL an establishment that had to be refused was accepted";
+        exit 1
+      end;
+      if r.Fleet.Chaos.f_goodput_ratio < min_goodput then begin
+        Printf.eprintf "fabric: FAIL goodput ratio %.4f below floor %.4f\n" r.Fleet.Chaos.f_goodput_ratio
+          min_goodput;
+        exit 1
+      end
+    in
+    let shards = Option.value shards ~default:1 in
+    if shards = 1 then begin
+      let sink = if metrics = None then Obs.null else Obs.create () in
+      let r = Fleet.Chaos.run_fabric_with ~sink ~domains config in
+      print_string (Fleet.Chaos.fabric_summary r);
+      (match (metrics, Obs.registry sink) with
+      | Some path, Some reg -> write_file path (Obs.Metrics.prometheus reg)
+      | _ -> ());
+      gate r
+    end
+    else begin
+      if metrics <> None then begin
+        prerr_endline "fabric: --metrics applies to single-shard runs (drop --shards)";
+        exit 2
+      end;
+      let reports = Fleet.Chaos.run_fabric_many ~domains ~shards config in
+      Array.iteri
+        (fun i (r : Fleet.Chaos.fabric_report) ->
+          Printf.printf "=== shard %d (seed %d) ===\n" i r.Fleet.Chaos.f_config.Fleet.Chaos.f_seed;
+          print_string (Fleet.Chaos.fabric_summary r))
+        reports;
+      Array.iter gate reports
+    end
+  in
+  Cmd.v
+    (Cmd.info "fabric"
+       ~doc:"Attested NIC-to-NIC fabric: cross-NIC CuckooGuard chain, mid-run failover, adversarial wire replay")
+    Term.(
+      const run $ seed_arg $ nics $ flows $ pkts $ window $ buffer $ replay $ reorder $ tamper $ no_kill
+      $ min_goodput $ metrics_arg $ domains_arg $ shards_arg)
+
 let trace_cmd =
   let scenario =
     Arg.(value & pos 0 (enum [ ("chaos", `Chaos); ("fleet", `Fleet) ]) `Chaos
@@ -857,5 +981,5 @@ let () =
           [
             attacks_cmd; dos_cmd; covert_cmd; probe_cmd; tco_cmd; overhead_cmd; tlb_cmd; pack_cmd; table6_cmd;
             ipc_cmd; dpi_cmd; fig5_cmd; fig8_cmd; timeline_cmd; fleet_cmd; chaos_cmd; datapath_cmd; oracle_cmd;
-            vf_cmd; qos_cmd; ddos_cmd; trace_cmd;
+            vf_cmd; qos_cmd; ddos_cmd; fabric_cmd; trace_cmd;
           ]))

@@ -1,0 +1,76 @@
+type t = { chan : int; seq : int; payload : string }
+
+let magic = "SNF1"
+let max_payload = 1 lsl 16
+let mac_len = 32 (* HMAC-SHA256 *)
+let overhead = 4 + 4 + 4 + 4 + mac_len
+let u32_max = 0xFFFFFFFF
+
+type error =
+  | Truncated of { need : int; got : int }
+  | Bad_magic
+  | Oversize of int
+  | Bad_mac
+  | Trailing of int
+
+let error_to_string = function
+  | Truncated { need; got } -> Printf.sprintf "truncated frame: need %d bytes, got %d" need got
+  | Bad_magic -> "bad frame magic"
+  | Oversize n -> Printf.sprintf "length field %d exceeds the %d-byte payload ceiling" n max_payload
+  | Bad_mac -> "frame MAC does not verify"
+  | Trailing n -> Printf.sprintf "%d trailing bytes after the frame" n
+
+let put_u32 b v =
+  Buffer.add_char b (Char.chr ((v lsr 24) land 0xFF));
+  Buffer.add_char b (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char b (Char.chr (v land 0xFF))
+
+let get_u32 s pos =
+  (Char.code s.[pos] lsl 24)
+  lor (Char.code s.[pos + 1] lsl 16)
+  lor (Char.code s.[pos + 2] lsl 8)
+  lor Char.code s.[pos + 3]
+
+let encode ~key t =
+  if t.chan < 0 || t.chan > u32_max then invalid_arg "Fabric.Frame.encode: chan outside u32";
+  if t.seq < 0 || t.seq > u32_max then invalid_arg "Fabric.Frame.encode: seq outside u32";
+  if String.length t.payload > max_payload then invalid_arg "Fabric.Frame.encode: payload too long";
+  let b = Buffer.create (overhead + String.length t.payload) in
+  Buffer.add_string b magic;
+  put_u32 b t.chan;
+  put_u32 b t.seq;
+  put_u32 b (String.length t.payload);
+  Buffer.add_string b t.payload;
+  let mac = Crypto.Hmac.mac ~key (Buffer.contents b) in
+  Buffer.add_string b mac;
+  Buffer.contents b
+
+let decode ~key s ~pos =
+  let avail = String.length s - pos in
+  if avail < 16 then Error (Truncated { need = 16; got = max avail 0 })
+  else if not (String.equal (String.sub s pos 4) magic) then Error Bad_magic
+  else begin
+    let chan = get_u32 s (pos + 4) in
+    let seq = get_u32 s (pos + 8) in
+    let len = get_u32 s (pos + 12) in
+    if len > max_payload then Error (Oversize len)
+    else begin
+      let need = 16 + len + mac_len in
+      if avail < need then Error (Truncated { need; got = avail })
+      else begin
+        let payload = String.sub s (pos + 16) len in
+        let mac = String.sub s (pos + 16 + len) mac_len in
+        let expect = Crypto.Hmac.mac ~key (String.sub s pos (16 + len)) in
+        if not (String.equal mac expect) then Error Bad_mac
+        else Ok ({ chan; seq; payload }, pos + need)
+      end
+    end
+  end
+
+let decode_exact ~key s =
+  match decode ~key s ~pos:0 with
+  | Error e -> Error e
+  | Ok (t, stop) ->
+    let rest = String.length s - stop in
+    if rest > 0 then Error (Trailing rest) else Ok t

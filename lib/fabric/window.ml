@@ -1,0 +1,49 @@
+type t = {
+  w : int;
+  mutable high : int; (* highest accepted; -1 before the first *)
+  mutable seen : int; (* bit i = (high - i) already accepted *)
+  mutable accepted : int;
+  mutable replays : int;
+  mutable stales : int;
+}
+
+type verdict = Fresh | Replay | Stale
+
+let verdict_to_string = function Fresh -> "fresh" | Replay -> "replay" | Stale -> "stale"
+
+let create ~size =
+  if size < 1 || size > 62 then invalid_arg "Fabric.Window.create: size must be in 1..62";
+  { w = size; high = -1; seen = 0; accepted = 0; replays = 0; stales = 0 }
+
+let size t = t.w
+let high t = t.high
+let accepted t = t.accepted
+let replays t = t.replays
+let stales t = t.stales
+
+let admit t seq =
+  if seq < 0 then invalid_arg "Fabric.Window.admit: negative sequence number";
+  if seq > t.high then begin
+    (* Slide forward: shift the bitmap by the advance and mark [seq]. *)
+    let advance = seq - t.high in
+    t.seen <- (if t.high < 0 || advance > 62 then 1 else (t.seen lsl advance) lor 1);
+    t.high <- seq;
+    t.accepted <- t.accepted + 1;
+    Fresh
+  end
+  else begin
+    let back = t.high - seq in
+    if back >= t.w then begin
+      t.stales <- t.stales + 1;
+      Stale
+    end
+    else if t.seen land (1 lsl back) <> 0 then begin
+      t.replays <- t.replays + 1;
+      Replay
+    end
+    else begin
+      t.seen <- t.seen lor (1 lsl back);
+      t.accepted <- t.accepted + 1;
+      Fresh
+    end
+  end

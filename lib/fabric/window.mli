@@ -1,0 +1,36 @@
+(** The receive-side anti-replay window (the RFC 4303 sliding bitmap,
+    sized for the simulator).
+
+    A window of size [w] accepts each sequence number at most once and
+    refuses anything older than [high - w + 1], where [high] is the
+    highest sequence number accepted so far.  [high] is monotone: once
+    the window has slid forward it never slides back, so a replayed or
+    badly reordered frame can never be re-admitted. *)
+
+type t
+
+type verdict =
+  | Fresh  (** first sighting inside the window; now marked seen *)
+  | Replay  (** inside the window but already accepted once *)
+  | Stale  (** older than the window can vouch for — rejected *)
+
+val verdict_to_string : verdict -> string
+
+(** [create ~size] — [size] in [1..62] (the bitmap lives in one int).
+    Raises [Invalid_argument] outside that range. *)
+val create : size:int -> t
+
+val size : t -> int
+
+(** Highest sequence number accepted, [-1] before the first. *)
+val high : t -> int
+
+(** [admit t seq] judges [seq] (non-negative) and, when [Fresh], marks
+    it seen.  Raises [Invalid_argument] on a negative [seq]. *)
+val admit : t -> int -> verdict
+
+(** Accepted / replay-rejected / stale-rejected counts so far. *)
+val accepted : t -> int
+
+val replays : t -> int
+val stales : t -> int

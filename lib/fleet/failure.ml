@@ -7,7 +7,30 @@ type report = {
   replaced : int;
   stranded : int;
   scrub_failures : int;
+  in_flight_drained : int;
 }
+
+(* A dead NIC's RX rings still hold whatever the front-end batch-injected
+   before the kill.  Pop every descriptor and recycle its buffer so the
+   partial batch is accounted as tenant drops instead of silently
+   vanishing — replays stay byte-identical because the drain order is the
+   ring order. *)
+let drain_in_flight telemetry (tn : Orchestrator.tenant) =
+  match tn.Orchestrator.placement with
+  | None -> 0
+  | Some p ->
+    let vnic = p.Orchestrator.vnic in
+    let rec go n =
+      match Snic.Vnic.rx vnic with
+      | None -> n
+      | Some (buffer, _len) ->
+        Snic.Vnic.drop vnic ~buffer;
+        go (n + 1)
+    in
+    let n = go 0 in
+    let ts = Telemetry.tenant telemetry tn.Orchestrator.tid in
+    ts.Telemetry.dropped <- ts.Telemetry.dropped + n;
+    n
 
 (* Budgets beyond the population clamp to "kill them all" (and negative
    budgets to nothing) — the report's requested-vs-killed fields record
@@ -19,7 +42,7 @@ let pick_distinct rng pool n =
 
 let inject orch rng ~kill_nics ~kill_nfs =
   let telemetry = Orchestrator.telemetry orch in
-  let displaced = ref [] and scrub_failures = ref 0 in
+  let displaced = ref [] and scrub_failures = ref 0 and drained = ref 0 in
   (* NIC deaths first: they also decide which tenants are eligible for
      the orderly NF kills below. *)
   let alive_nodes = Array.of_list (List.filter Node.alive (Array.to_list (Orchestrator.nodes orch))) in
@@ -34,6 +57,7 @@ let inject orch rng ~kill_nics ~kill_nfs =
           | Some p when Node.id p.Orchestrator.node = Node.id node ->
             let ns = Telemetry.nic telemetry (Node.id node) in
             ns.Telemetry.lost <- ns.Telemetry.lost + 1;
+            drained := !drained + drain_in_flight telemetry tn;
             Orchestrator.evict orch tn;
             displaced := tn :: !displaced
           | _ -> ())
@@ -82,4 +106,5 @@ let inject orch rng ~kill_nics ~kill_nfs =
     replaced;
     stranded = List.length displaced - replaced;
     scrub_failures = !scrub_failures;
+    in_flight_drained = !drained;
   }

@@ -9,7 +9,10 @@
       ({!Nicsim.Physmem.is_zero}) before re-placing the tenant;
     - a *NIC kill* is hardware death: no teardown runs, every hosted
       function is simply lost, and the survivors' control plane re-places
-      the orphaned tenants on the remaining NICs. *)
+      the orphaned tenants on the remaining NICs.  Frames a batched
+      inject had already queued on the dead NIC's RX rings are drained
+      deterministically (ring order) and accounted as tenant drops —
+      never silently lost. *)
 
 type report = {
   nics_requested : int; (* the kill_nics budget as asked for *)
@@ -20,6 +23,7 @@ type report = {
   replaced : int; (* ... and were successfully re-placed + re-attested *)
   stranded : int; (* ... and could not be re-placed *)
   scrub_failures : int; (* must stay 0: RAM found non-zero after teardown *)
+  in_flight_drained : int; (* frames drained from dead NICs' RX rings *)
 }
 
 (** [inject orch rng ~kill_nics ~kill_nfs] — pick victims with [rng]

@@ -17,3 +17,13 @@ let finish sum =
   lnot !s land 0xffff
 
 let checksum b ~pos ~len = finish (ones_sum b ~pos ~len)
+
+(* RFC 1624 eqn. 3: HC' = ~(~HC + ~m + m'), all in 16-bit
+   one's-complement arithmetic.  [finish] supplies the fold-and-
+   complement, so the incremental update reuses the same carry
+   handling as a full recompute. *)
+let update ~old ~old_word ~new_word =
+  if old < 0 || old > 0xffff then invalid_arg "Checksum.update: old must be a 16-bit value";
+  if old_word < 0 || old_word > 0xffff then invalid_arg "Checksum.update: old_word must be a 16-bit value";
+  if new_word < 0 || new_word > 0xffff then invalid_arg "Checksum.update: new_word must be a 16-bit value";
+  finish ((lnot old land 0xffff) + (lnot old_word land 0xffff) + new_word)

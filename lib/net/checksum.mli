@@ -10,3 +10,13 @@ val finish : int -> int
 
 (** [checksum b ~pos ~len] is [finish (ones_sum b ~pos ~len)]. *)
 val checksum : Bytes.t -> pos:int -> len:int -> int
+
+(** [update ~old ~old_word ~new_word] is the RFC 1624 incremental
+    update: the checksum after one aligned 16-bit word changes from
+    [old_word] to [new_word] under prior checksum [old], without
+    re-summing the buffer.  Agrees with a full recompute except on a
+    buffer whose new content is all zeros, where the two encodings of
+    one's-complement zero ([0x0000] vs [0xFFFF]) differ — both verify
+    identically.  Raises [Invalid_argument] if any argument is outside
+    [0, 0xFFFF]. *)
+val update : old:int -> old_word:int -> new_word:int -> int

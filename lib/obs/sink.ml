@@ -3,7 +3,7 @@
    Hot-path counters live in a flat array indexed by the stat tag so a
    recording bump is an array increment, not a hash lookup. *)
 
-type cat = Tlb | Cache | Bus | Dma | Accel | Sched | Pktio | Ctrl | Fleet | Qos
+type cat = Tlb | Cache | Bus | Dma | Accel | Sched | Pktio | Ctrl | Fleet | Qos | Fabric
 
 let cat_name = function
   | Tlb -> "tlb"
@@ -16,6 +16,7 @@ let cat_name = function
   | Ctrl -> "ctrl"
   | Fleet -> "fleet"
   | Qos -> "qos"
+  | Fabric -> "fabric"
 
 type phase = Span_begin | Span_end | Instant
 
@@ -60,6 +61,14 @@ type stat =
   | Ddos_attack_drop
   | Ddos_benign_drop
   | Ddos_goodput_pkt
+  | Fabric_tx
+  | Fabric_rx
+  | Fabric_mac_fail
+  | Fabric_replay_drop
+  | Fabric_stale_drop
+  | Fabric_hop
+  | Fabric_handshake
+  | Fabric_failover
 
 let stat_index = function
   | Tlb_hit -> 0
@@ -92,8 +101,16 @@ let stat_index = function
   | Ddos_attack_drop -> 27
   | Ddos_benign_drop -> 28
   | Ddos_goodput_pkt -> 29
+  | Fabric_tx -> 30
+  | Fabric_rx -> 31
+  | Fabric_mac_fail -> 32
+  | Fabric_replay_drop -> 33
+  | Fabric_stale_drop -> 34
+  | Fabric_hop -> 35
+  | Fabric_handshake -> 36
+  | Fabric_failover -> 37
 
-let n_stats = 30
+let n_stats = 38
 
 let stat_name = function
   | Tlb_hit -> "snic_tlb_hit_total"
@@ -126,6 +143,14 @@ let stat_name = function
   | Ddos_attack_drop -> "snic_ddos_attack_drop_total"
   | Ddos_benign_drop -> "snic_ddos_benign_drop_total"
   | Ddos_goodput_pkt -> "snic_ddos_goodput_pkt_total"
+  | Fabric_tx -> "snic_fabric_tx_total"
+  | Fabric_rx -> "snic_fabric_rx_total"
+  | Fabric_mac_fail -> "snic_fabric_mac_fail_total"
+  | Fabric_replay_drop -> "snic_fabric_replay_drop_total"
+  | Fabric_stale_drop -> "snic_fabric_stale_drop_total"
+  | Fabric_hop -> "snic_fabric_hop_total"
+  | Fabric_handshake -> "snic_fabric_handshake_total"
+  | Fabric_failover -> "snic_fabric_failover_total"
 
 let all_stats =
   [
@@ -133,6 +158,8 @@ let all_stats =
     Dma_start; Dma_complete; Dma_fault; Accel_dispatch; Accel_retire; Sched_switch; Pktio_rx;
     Pktio_tx; Pktio_drop; Vf_tx; Vf_rx; Vf_drop; Vf_doorbell; Qos_grant; Qos_throttle; Qos_borrow;
     Slo_violation; Ddos_syn_challenge; Ddos_admit; Ddos_attack_drop; Ddos_benign_drop; Ddos_goodput_pkt;
+    Fabric_tx; Fabric_rx; Fabric_mac_fail; Fabric_replay_drop; Fabric_stale_drop; Fabric_hop;
+    Fabric_handshake; Fabric_failover;
   ]
 
 type recorder = {

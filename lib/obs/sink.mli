@@ -30,6 +30,7 @@ type cat =
   | Ctrl  (** control-plane API calls: nf_create / nf_destroy *)
   | Fleet  (** orchestrator / supervisor actions *)
   | Qos  (** per-tenant credit arbiter: grants, throttles, SLO *)
+  | Fabric  (** inter-NIC channels: hops, handshakes, failovers *)
 
 val cat_name : cat -> string
 (** Lower-case category label used in exporters (e.g. ["tlb"]). *)
@@ -83,6 +84,14 @@ type stat =
   | Ddos_attack_drop
   | Ddos_benign_drop
   | Ddos_goodput_pkt
+  | Fabric_tx
+  | Fabric_rx
+  | Fabric_mac_fail
+  | Fabric_replay_drop
+  | Fabric_stale_drop
+  | Fabric_hop
+  | Fabric_handshake
+  | Fabric_failover
 
 val stat_name : stat -> string
 (** Registry name of a hot-path counter, e.g. ["snic_tlb_hit_total"]. *)

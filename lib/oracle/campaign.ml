@@ -29,11 +29,11 @@ let mode_of_id s = List.find_opt (fun m -> String.equal (mode_id m) s) all_modes
 
 let default_slots = 6
 
-let gen_ops ~slots ~ops ~seed =
+let gen_ops ?(fabric = false) ~slots ~ops ~seed () =
   let rng = Trace.Rng.create ~seed in
-  List.init ops (fun _ -> Op.gen rng ~slots)
+  List.init ops (fun _ -> Op.gen ~fabric rng ~slots)
 
-let gen_ops_array ~slots ~ops ~seed = Array.of_list (gen_ops ~slots ~ops ~seed)
+let gen_ops_array ?fabric ~slots ~ops ~seed () = Array.of_list (gen_ops ?fabric ~slots ~ops ~seed ())
 
 (* One harness bounds check per 512 ops instead of one list cell per op;
    the interpretation itself is unchanged (Harness.step_batch is step in
@@ -55,12 +55,13 @@ let replay_array ?(slots = default_slots) ~mode ops =
 
 let replay ?slots ~mode ops = replay_array ?slots ~mode (Array.of_list ops)
 
-let run ?(slots = default_slots) ~mode ~ops ~seed () =
-  let r = replay_array ~slots ~mode (gen_ops_array ~slots ~ops ~seed) in
+let run ?(slots = default_slots) ?fabric ~mode ~ops ~seed () =
+  let r = replay_array ~slots ~mode (gen_ops_array ?fabric ~slots ~ops ~seed ()) in
   { r with seed = Some seed }
 
-let run_sharded ?domains ?(slots = default_slots) ~mode ~ops ~seed ~shards () =
-  Par.Engine.map_seeded ?domains ~seed ~shards (fun ~shard:_ ~seed -> run ~slots ~mode ~ops ~seed ())
+let run_sharded ?domains ?(slots = default_slots) ?fabric ~mode ~ops ~seed ~shards () =
+  Par.Engine.map_seeded ?domains ~seed ~shards (fun ~shard:_ ~seed ->
+      run ~slots ?fabric ~mode ~ops ~seed ())
 
 let counts r =
   List.map

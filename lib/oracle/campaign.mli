@@ -27,14 +27,17 @@ val all_modes : Nicsim.Machine.mode list
 (** The default slot population (6). *)
 val default_slots : int
 
-(** [gen_ops ~slots ~ops ~seed] draws the op stream a seeded campaign
-    executes. Generation never consults execution state, so the stream
-    depends on the seed alone. *)
-val gen_ops : slots:int -> ops:int -> seed:int -> Op.t list
+(** [gen_ops ?fabric ~slots ~ops ~seed ()] draws the op stream a seeded
+    campaign executes. Generation never consults execution state, so the
+    stream depends on the seed alone.  [fabric] (default false) mixes
+    the attested-channel ops into the alphabet; the default stream is
+    byte-identical to what older campaigns drew, so pinned digests stay
+    valid. *)
+val gen_ops : ?fabric:bool -> slots:int -> ops:int -> seed:int -> unit -> Op.t list
 
 (** [gen_ops_array] is {!gen_ops} as an array — the form the batched
     interpreter consumes. *)
-val gen_ops_array : slots:int -> ops:int -> seed:int -> Op.t array
+val gen_ops_array : ?fabric:bool -> slots:int -> ops:int -> seed:int -> unit -> Op.t array
 
 (** [replay ?slots ~mode ops] runs an explicit op list on a fresh
     harness. *)
@@ -46,9 +49,9 @@ val replay : ?slots:int -> mode:Nicsim.Machine.mode -> Op.t list -> report
     through it. *)
 val replay_array : ?slots:int -> mode:Nicsim.Machine.mode -> Op.t array -> report
 
-(** [run ?slots ~mode ~ops ~seed ()] = [gen_ops] + [replay], with [seed]
-    recorded in the report. *)
-val run : ?slots:int -> mode:Nicsim.Machine.mode -> ops:int -> seed:int -> unit -> report
+(** [run ?slots ?fabric ~mode ~ops ~seed ()] = [gen_ops] + [replay],
+    with [seed] recorded in the report. *)
+val run : ?slots:int -> ?fabric:bool -> mode:Nicsim.Machine.mode -> ops:int -> seed:int -> unit -> report
 
 (** [run_sharded ?domains ~mode ~ops ~seed ~shards ()] runs [shards]
     independent campaigns of [ops] ops each, shard [i] seeded with
@@ -63,6 +66,7 @@ val run : ?slots:int -> mode:Nicsim.Machine.mode -> ops:int -> seed:int -> unit 
 val run_sharded :
   ?domains:int ->
   ?slots:int ->
+  ?fabric:bool ->
   mode:Nicsim.Machine.mode ->
   ops:int ->
   seed:int ->

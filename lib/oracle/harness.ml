@@ -25,6 +25,11 @@ type t = {
   mode : Machine.mode;
   machine : Machine.t;
   insns : Snic.Instructions.t option; (* Some iff mode = Snic *)
+  vendor_public : Crypto.Rsa.public option; (* Some iff mode = Snic *)
+  chan_rng : Random.State.t; (* handshake nonces/ephemerals, seeded *)
+  chans : (Fabric.Channel.tx * Fabric.Channel.rx) option array; (* per slot *)
+  chan_last : string option array; (* last wire frame, for replay probes *)
+  mutable chan_next : int; (* channel id allocator *)
   vft : Vf.Table.t; (* one VF slot per tenant slot *)
   qos : Qos.t; (* credit arbiter, one registration per slot *)
   q_spent : int array array; (* reference: slot x resource spend this epoch *)
@@ -49,12 +54,14 @@ let qos_epoch_cycles = 256
 
 let create ~mode ~slots =
   if slots < 1 || slots > 8 then invalid_arg "Harness.create: slots must be in 1..8";
-  let machine, insns =
+  let machine, insns, vendor_public =
     match mode with
     | Machine.Snic ->
       let api = Snic.Api.boot () in
-      (Snic.Api.machine api, Some (Snic.Api.instructions api))
-    | _ -> (Machine.create (Machine.default_config ~mode), None)
+      ( Snic.Api.machine api,
+        Some (Snic.Api.instructions api),
+        Some (Snic.Identity.vendor_public (Snic.Api.vendor api)) )
+    | _ -> (Machine.create (Machine.default_config ~mode), None, None)
   in
   let qos =
     Qos.create
@@ -72,6 +79,11 @@ let create ~mode ~slots =
     mode;
     machine;
     insns;
+    vendor_public;
+    chan_rng = Random.State.make [| 0xFAB; slots |];
+    chans = Array.make slots None;
+    chan_last = Array.make slots None;
+    chan_next = 0;
     vft = Vf.Table.create machine { Vf.Table.default_config with Vf.Table.vfs = slots };
     qos;
     q_spent = Array.make_matrix slots 3 0;
@@ -657,6 +669,56 @@ let attest t idx op ~slot =
     true
   | _ -> false (* commodity NICs have no attestation instruction *)
 
+(* ---- fabric channels ---------------------------------------------- *)
+
+(* Loopback attested channels, one per slot.  Establishment runs the
+   full handshake against the slot's live NF (so a torn-down or never-
+   launched slot has no key source), a send must authenticate and
+   deliver exactly the bytes sent, and a replayed wire frame must bounce
+   off the receive window.  S-NIC only: commodity NICs cannot attest. *)
+let chan_open t idx op ~slot ~window =
+  match (t.insns, t.vendor_public, t.states.(slot)) with
+  | Some insns, Some vendor_public, Live u ->
+    let ep = Fabric.Endpoint.make ~nic:0 ~insns ~nf:u.nf () in
+    let chan = t.chan_next in
+    t.chan_next <- chan + 1;
+    (match Fabric.Endpoint.establish ~window t.chan_rng ~vendor_public ~chan ep ep with
+    | Ok link ->
+      t.chans.(slot) <- Some link;
+      t.chan_last.(slot) <- None
+    | Error e ->
+      flag t idx op Refmodel.Model_mismatch
+        ("channel establishment refused a live attested function: " ^ Fabric.Endpoint.error_to_string e));
+    true
+  | _ -> false
+
+let chan_send t idx op ~slot ~len =
+  match t.chans.(slot) with
+  | None -> false
+  | Some (tx, rx) ->
+    let payload = String.init len (fun i -> Char.chr (0x61 + ((i + slot + idx) mod 26))) in
+    let wire = Fabric.Channel.send tx payload in
+    t.chan_last.(slot) <- Some wire;
+    (match Fabric.Channel.recv rx wire with
+    | Ok p when String.equal p payload -> ()
+    | Ok _ -> flag t idx op Refmodel.Model_mismatch "channel delivered different bytes than were sent"
+    | Error e ->
+      flag t idx op Refmodel.Model_mismatch
+        ("receiver refused a fresh authenticated frame: " ^ Fabric.Channel.recv_error_to_string e));
+    true
+
+let chan_replay t idx op ~slot =
+  match (t.chans.(slot), t.chan_last.(slot)) with
+  | Some (_, rx), Some wire ->
+    (match Fabric.Channel.recv rx wire with
+    | Error (Fabric.Channel.Replayed _) -> ()
+    | Ok _ -> flag t idx op Refmodel.Model_mismatch "receive window accepted a replayed frame"
+    | Error e ->
+      flag t idx op Refmodel.Model_mismatch
+        ("replayed frame bounced for the wrong reason: " ^ Fabric.Channel.recv_error_to_string e));
+    true
+  | _ -> false
+
 (* ---- dispatch ----------------------------------------------------- *)
 
 let exec t idx op =
@@ -675,6 +737,10 @@ let exec t idx op =
     match t.states.(slot) with
     | Live u ->
       teardown t idx op ~slot ~u;
+      (* The channel's key was bound to the torn-down NF's attestation;
+         it dies with the function. *)
+      t.chans.(slot) <- None;
+      t.chan_last.(slot) <- None;
       true
     | Empty | Ghost _ -> false)
   | Op.Read { actor; target; space = Op.Virt; off; len } -> (
@@ -707,6 +773,9 @@ let exec t idx op =
     | Op.Vf_doorbell { actor; target; value } -> vf_doorbell t idx op ~actor ~target ~value
     | Op.Vf_queue_read { actor; target; len } -> vf_queue_read t idx op ~actor ~target ~alen:len
     | Op.Qos_admit { actor; res; cost } -> qos_admit t idx op ~actor ~res ~cost
+    | Op.Chan_open { slot; window } -> chan_open t idx op ~slot ~window
+    | Op.Chan_send { slot; len } -> chan_send t idx op ~slot ~len
+    | Op.Chan_replay { slot } -> chan_replay t idx op ~slot
   end
 
 let step t op =

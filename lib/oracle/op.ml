@@ -19,6 +19,9 @@ type t =
   | Vf_doorbell of { actor : int; target : int; value : int }
   | Vf_queue_read of { actor : int; target : int; len : int }
   | Qos_admit of { actor : int; res : qres; cost : int }
+  | Chan_open of { slot : int; window : int }
+  | Chan_send of { slot : int; len : int }
+  | Chan_replay of { slot : int }
 
 let equal (a : t) (b : t) = a = b
 
@@ -26,7 +29,7 @@ let equal (a : t) (b : t) = a = b
    reads/writes dominate because the §3.3 attack surface is memory
    accesses; the rest keep DMA, accelerators, packets, VF doorbell/ring
    traffic and attestation in every campaign's mix. *)
-let gen rng ~slots =
+let gen ?(fabric = false) rng ~slots =
   let slot () = Trace.Rng.int rng slots in
   let off () = Trace.Rng.int rng 16384 in
   let len () = 8 + Trace.Rng.int rng 57 in
@@ -37,6 +40,16 @@ let gen rng ~slots =
     | 2 -> Slot (slot ())
     | _ -> Os
   in
+  (* Channel ops are opt-in: the extra draws below run only under
+     [~fabric:true], so the default op stream — and every digest pinned
+     against it — stays byte-identical. *)
+  if fabric && Trace.Rng.int rng 10 = 0 then begin
+    match Trace.Rng.int rng 4 with
+    | 0 -> Chan_open { slot = slot (); window = 4 + Trace.Rng.int rng 28 }
+    | 1 | 2 -> Chan_send { slot = slot (); len = 1 + Trace.Rng.int rng 64 }
+    | _ -> Chan_replay { slot = slot () }
+  end
+  else
   match Trace.Rng.int rng 100 with
   | n when n < 12 ->
     Launch
@@ -94,6 +107,7 @@ let actor_to_string = function Os -> "os" | Slot s -> string_of_int s
 let slots_of = function
   | Launch { slot; _ } | Teardown { slot } | Stream { slot; _ } | Attest { slot } -> string_of_int slot
   | Vf_attach { slot; _ } | Vf_detach { slot } -> string_of_int slot
+  | Chan_open { slot; _ } | Chan_send { slot; _ } | Chan_replay { slot } -> string_of_int slot
   | Read { actor; target; _ } | Write { actor; target; _ } ->
     actor_to_string actor ^ ">" ^ string_of_int target
   | Mmio_write { actor; target; _ } | Dma { actor; target; _ } ->
@@ -106,6 +120,7 @@ let slots_of = function
 let max_slot = function
   | Launch { slot; _ } | Teardown { slot } | Stream { slot; _ } | Attest { slot } -> slot
   | Vf_attach { slot; _ } | Vf_detach { slot } -> slot
+  | Chan_open { slot; _ } | Chan_send { slot; _ } | Chan_replay { slot } -> slot
   | Read { actor; target; _ } | Write { actor; target; _ } -> (
     match actor with Slot a -> max a target | Os -> target)
   | Mmio_write { actor; target; _ } | Dma { actor; target; _ } -> max actor target
@@ -145,6 +160,9 @@ let to_line = function
     Printf.sprintf "vfqread actor=%d target=%d len=%d" actor target len
   | Qos_admit { actor; res; cost } ->
     Printf.sprintf "qos actor=%d res=%s cost=%d" actor (qres_to_string res) cost
+  | Chan_open { slot; window } -> Printf.sprintf "chanopen slot=%d window=%d" slot window
+  | Chan_send { slot; len } -> Printf.sprintf "chansend slot=%d len=%d" slot len
+  | Chan_replay { slot } -> Printf.sprintf "chanreplay slot=%d" slot
 
 (* ---- strict line parser ------------------------------------------- *)
 
@@ -319,5 +337,20 @@ let of_line line =
       let* res = qres_field fields "res" in
       let* cost = int_field fields "cost" in
       if cost = 0 then Error "field \"cost\" must be positive" else Ok (Qos_admit { actor; res; cost })
+    | "chanopen" ->
+      let* () = exact [ "slot"; "window" ] in
+      let* slot = int_field fields "slot" in
+      let* window = int_field fields "window" in
+      if window < 1 || window > 62 then Error "field \"window\" must be in 1..62"
+      else Ok (Chan_open { slot; window })
+    | "chansend" ->
+      let* () = exact [ "slot"; "len" ] in
+      let* slot = int_field fields "slot" in
+      let* len = int_field fields "len" in
+      if len = 0 then Error "field \"len\" must be positive" else Ok (Chan_send { slot; len })
+    | "chanreplay" ->
+      let* () = exact [ "slot" ] in
+      let* slot = int_field fields "slot" in
+      Ok (Chan_replay { slot })
     | v -> Error (Printf.sprintf "unknown op %S" v)
   end

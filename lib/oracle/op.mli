@@ -88,11 +88,25 @@ type t =
           check is grant/throttle agreement with a flat per-epoch budget
           model — credit ops touch no memory and must introduce no new
           isolation classes. *)
+  | Chan_open of { slot : int; window : int }
+      (** Establish a loopback attested fabric channel for the tenant in
+          [slot] with a [window]-deep receive window. S-NIC only: the key
+          derivation needs the attestation handshake, and commodity NICs
+          have no quote to offer (skipped). *)
+  | Chan_send of { slot : int; len : int }
+      (** Send [len] deterministic bytes over the slot's channel and
+          receive them on the far half — the frame must authenticate and
+          deliver exactly the bytes sent. *)
+  | Chan_replay of { slot : int }
+      (** Re-deliver the slot's last wire frame verbatim: the receive
+          window must bounce it as a replay. *)
 
-(** [gen rng ~slots] draws one op with campaign-tuned weights; every
-    field is a function of [rng] draws alone, so a seed reproduces the
-    op stream byte-for-byte. *)
-val gen : Trace.Rng.t -> slots:int -> t
+(** [gen ?fabric rng ~slots] draws one op with campaign-tuned weights;
+    every field is a function of [rng] draws alone, so a seed reproduces
+    the op stream byte-for-byte.  [fabric] (default false) mixes the
+    [Chan_*] ops into the alphabet; the default stream is byte-identical
+    to what older campaigns drew, so pinned digests stay valid. *)
+val gen : ?fabric:bool -> Trace.Rng.t -> slots:int -> t
 
 (** Slots an op involves, as ["a>t"]-style text — the op's identity for
     shrink matching, stable across re-allocation. *)

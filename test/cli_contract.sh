@@ -35,7 +35,7 @@ check_bad_flag() {
   esac
 }
 
-for sub in fleet chaos trace datapath oracle vf qos ddos attacks; do
+for sub in fleet chaos trace datapath oracle vf qos ddos fabric attacks; do
   check_help "$sub"
   check_bad_flag "$sub"
 done
@@ -110,6 +110,20 @@ set +e
 [ $? -eq 2 ] || fail "'ddos --factor 0' should exit 2"
 "$cli" ddos --log2-buckets 99 > /dev/null 2>&1
 [ $? -eq 2 ] || fail "'ddos --log2-buckets 99' should exit 2"
+
+# fabric-specific validation: the chain needs three NICs, the receive
+# window must fit the RFC 4303-style bitmap, and --metrics cannot
+# combine with sharding (one sink per run).
+"$cli" fabric --nics 2 > /dev/null 2>&1
+[ $? -eq 2 ] || fail "'fabric --nics 2' should exit 2"
+"$cli" fabric --window 63 > /dev/null 2>&1
+[ $? -eq 2 ] || fail "'fabric --window 63' should exit 2"
+"$cli" fabric --flows 0 > /dev/null 2>&1
+[ $? -eq 2 ] || fail "'fabric --flows 0' should exit 2"
+"$cli" fabric --min-goodput 1.5 > /dev/null 2>&1
+[ $? -eq 2 ] || fail "'fabric --min-goodput 1.5' should exit 2"
+"$cli" fabric --shards 2 --metrics /tmp/fab.prom > /dev/null 2>&1
+[ $? -eq 2 ] || fail "'fabric --shards 2 --metrics' should exit 2"
 set -e
 
 # An unknown NF short name anywhere a command takes one is a cmdliner
@@ -155,6 +169,10 @@ if [ -n "$bench" ]; then
     *ddos*) : ;;
     *) fail "'bench --only' usage does not list the ddos section" ;;
   esac
+  case "$err" in
+    *fabric*) : ;;
+    *) fail "'bench --only' usage does not list the fabric section" ;;
+  esac
 
   # bench --domains follows the same convention: zero or non-numeric
   # values are 124 + usage before any section runs.
@@ -171,4 +189,4 @@ if [ -n "$bench" ]; then
   done
 fi
 
-echo "cli contract holds (fleet chaos trace datapath oracle vf qos ddos attacks; --domains; --nf; bench --only)"
+echo "cli contract holds (fleet chaos trace datapath oracle vf qos ddos fabric attacks; --domains; --nf; bench --only)"

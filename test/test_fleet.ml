@@ -247,6 +247,110 @@ let test_failure_inject_clamps () =
   Alcotest.(check (list int)) "no NFs killed" [] r0.Fleet.Failure.nfs_killed;
   Alcotest.(check int) "negative request reported as asked" (-3) r0.Fleet.Failure.nics_requested
 
+(* A NIC kill must drain whatever a batched inject had already queued on
+   the dead NIC's RX rings — accounted as tenant drops, never silently
+   lost — and the drain must replay byte-identically. *)
+let test_nic_kill_drains_in_flight () =
+  let load_and_kill () =
+    let orch =
+      Fleet.Orchestrator.create
+        { Fleet.Orchestrator.seed = 13; n_nics = 3; n_tenants = 6; policy = Fleet.Policy.First_fit; bytes_per_mb = 1024 }
+    in
+    (* Park frames on every tenant's RX ring (matching its steering
+       port) without draining any pipeline: a mid-batch snapshot. *)
+    Array.iter
+      (fun tn ->
+        match tn.Fleet.Orchestrator.placement with
+        | None -> ()
+        | Some p ->
+          let api = Fleet.Node.api p.Fleet.Orchestrator.node in
+          for i = 1 to 4 do
+            match
+              Snic.Api.inject_packet api
+                (Net.Packet.make ~src_ip:i ~dst_ip:2 ~proto:Net.Packet.Udp ~src_port:(40000 + i)
+                   ~dst_port:tn.Fleet.Orchestrator.port "in-flight")
+            with
+            | Ok _ -> ()
+            | Error e -> Alcotest.fail ("inject: " ^ e)
+          done)
+      (Fleet.Orchestrator.tenants orch);
+    let telemetry = Fleet.Orchestrator.telemetry orch in
+    let dropped_before =
+      Array.fold_left
+        (fun acc tn -> acc + (Fleet.Telemetry.tenant telemetry tn.Fleet.Orchestrator.tid).Fleet.Telemetry.dropped)
+        0 (Fleet.Orchestrator.tenants orch)
+    in
+    let r = Fleet.Failure.inject orch (Trace.Rng.create ~seed:7) ~kill_nics:3 ~kill_nfs:0 in
+    let dropped_after =
+      Array.fold_left
+        (fun acc tn -> acc + (Fleet.Telemetry.tenant telemetry tn.Fleet.Orchestrator.tid).Fleet.Telemetry.dropped)
+        0 (Fleet.Orchestrator.tenants orch)
+    in
+    (r, dropped_after - dropped_before)
+  in
+  let r1, drop_delta = load_and_kill () in
+  Alcotest.(check bool) "queued frames were drained" true (r1.Fleet.Failure.in_flight_drained > 0);
+  Alcotest.(check int) "every queued frame accounted" (6 * 4) r1.Fleet.Failure.in_flight_drained;
+  Alcotest.(check int) "drains land as tenant drops" r1.Fleet.Failure.in_flight_drained drop_delta;
+  (* Byte-identical replay: same seed, same report. *)
+  let r2, _ = load_and_kill () in
+  Alcotest.(check bool) "report replays byte-identically" true (r1 = r2)
+
+(* Displaced tenants must never be re-placed onto a quarantined NIC, and
+   quarantined NICs still count against the kill budget's alive pool. *)
+let test_failover_skips_quarantined () =
+  let orch =
+    Fleet.Orchestrator.create
+      { Fleet.Orchestrator.seed = 21; n_nics = 4; n_tenants = 6; policy = Fleet.Policy.Spread; bytes_per_mb = 1024 }
+  in
+  let nodes = Fleet.Orchestrator.nodes orch in
+  let quarantined = nodes.(1) in
+  Fleet.Node.quarantine quarantined;
+  (* Kill every other NIC: survivors can only land on... nothing alive
+     and unquarantined, so everyone displaced is stranded — the
+     orchestrator must not quietly re-admit the quarantined node. *)
+  let rng = Trace.Rng.create ~seed:5 in
+  let r = Fleet.Failure.inject orch rng ~kill_nics:4 ~kill_nfs:0 in
+  Alcotest.(check bool) "quarantined NICs are still kill-eligible" true
+    (List.length r.Fleet.Failure.nics_killed = 4);
+  Array.iter
+    (fun tn ->
+      match tn.Fleet.Orchestrator.placement with
+      | None -> ()
+      | Some p ->
+        Alcotest.(check bool) "no placement on a quarantined NIC" false
+          (Fleet.Node.quarantined p.Fleet.Orchestrator.node))
+    (Fleet.Orchestrator.tenants orch);
+  (* Mid-flight re-placement with a healthy spare: quarantine one node,
+     kill one other, and every displaced tenant lands somewhere alive
+     and unquarantined. *)
+  let orch2 =
+    Fleet.Orchestrator.create
+      { Fleet.Orchestrator.seed = 22; n_nics = 4; n_tenants = 6; policy = Fleet.Policy.Spread; bytes_per_mb = 1024 }
+  in
+  let bad = (Fleet.Orchestrator.nodes orch2).(2) in
+  Fleet.Node.quarantine bad;
+  (* Tenants already sitting on the node keep their placement (quarantine
+     is not an eviction); what matters is that nobody *new* lands there. *)
+  let node_of tn =
+    match tn.Fleet.Orchestrator.placement with None -> None | Some p -> Some (Fleet.Node.id p.Fleet.Orchestrator.node)
+  in
+  let before = Array.map node_of (Fleet.Orchestrator.tenants orch2) in
+  let r2 = Fleet.Failure.inject orch2 (Trace.Rng.create ~seed:6) ~kill_nics:1 ~kill_nfs:0 in
+  Alcotest.(check int) "nobody stranded with spares left" 0 r2.Fleet.Failure.stranded;
+  Array.iteri
+    (fun i tn ->
+      match tn.Fleet.Orchestrator.placement with
+      | None -> Alcotest.fail "tenant left unplaced with healthy spares"
+      | Some p ->
+        if node_of tn <> before.(i) then begin
+          Alcotest.(check bool) "re-placement avoided the quarantined NIC" false
+            (Fleet.Node.id p.Fleet.Orchestrator.node = Fleet.Node.id bad);
+          Alcotest.(check bool) "re-placement landed on an alive NIC" true (Fleet.Node.alive p.Fleet.Orchestrator.node)
+        end)
+    (Fleet.Orchestrator.tenants orch2);
+  Alcotest.(check bool) "the kill actually displaced someone" true (r2.Fleet.Failure.displaced > 0)
+
 (* Telemetry CSV export shape stays parseable. *)
 let test_csv_shape () =
   let _, orch = Fleet.Scenario.run_with (small_config Fleet.Policy.First_fit) in
@@ -284,5 +388,7 @@ let suite =
     Alcotest.test_case "typed place error: stage fault" `Quick test_place_typed_stage_fault;
     Alcotest.test_case "evict/replace idempotency" `Quick test_evict_replace_idempotent;
     Alcotest.test_case "kill budgets clamp and report" `Quick test_failure_inject_clamps;
+    Alcotest.test_case "NIC kill drains in-flight frames" `Quick test_nic_kill_drains_in_flight;
+    Alcotest.test_case "failover skips quarantined NICs" `Quick test_failover_skips_quarantined;
     Alcotest.test_case "telemetry CSV shape" `Slow test_csv_shape;
   ]

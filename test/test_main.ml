@@ -27,5 +27,6 @@ let () =
       ("vf", Test_vf.suite);
       ("qos", Test_qos.suite);
       ("ddos", Test_ddos.suite);
+      ("fabric", Test_fabric.suite);
       ("par", Test_par.suite);
     ]

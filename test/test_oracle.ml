@@ -80,7 +80,7 @@ let test_seed_determinism () =
 
 let test_trace_file_roundtrip () =
   let mode = Nicsim.Machine.Liquidio_se_s in
-  let ops = Campaign.gen_ops ~slots:4 ~ops:500 ~seed:11 in
+  let ops = Campaign.gen_ops ~slots:4 ~ops:500 ~seed:11 () in
   let text = Campaign.trace_to_string ~mode ~slots:4 ops in
   match Campaign.trace_of_string text with
   | Error e -> Alcotest.failf "trace_of_string failed: %s" e
@@ -196,7 +196,7 @@ let test_commodity_classes () =
 
 let test_shrinker_minimizes () =
   let mode = Nicsim.Machine.Liquidio_se_s in
-  let ops = Campaign.gen_ops ~slots:Campaign.default_slots ~ops:2000 ~seed:42 in
+  let ops = Campaign.gen_ops ~slots:Campaign.default_slots ~ops:2000 ~seed:42 () in
   let r = Campaign.replay ~mode ops in
   match List.rev r.Campaign.violations with
   | [] -> Alcotest.fail "seeded campaign produced no violation to shrink"

@@ -201,11 +201,11 @@ let test_oracle_replay_paths_agree () =
   (* The batched array interpreter is the list interpreter, sliced. *)
   let mode = match Oracle.Campaign.mode_of_id "se-s" with Some m -> m | None -> assert false in
   let slots = Oracle.Campaign.default_slots in
-  let ops = Oracle.Campaign.gen_ops ~slots ~ops:3_000 ~seed:7 in
+  let ops = Oracle.Campaign.gen_ops ~slots ~ops:3_000 ~seed:7 () in
   let a = Oracle.Campaign.replay ~mode ops in
   let b = Oracle.Campaign.replay_array ~mode (Array.of_list ops) in
   Alcotest.(check string) "replay == replay_array" (Oracle.Campaign.to_string a) (Oracle.Campaign.to_string b);
-  let ga = Oracle.Campaign.gen_ops_array ~slots ~ops:3_000 ~seed:7 in
+  let ga = Oracle.Campaign.gen_ops_array ~slots ~ops:3_000 ~seed:7 () in
   Alcotest.(check bool) "gen_ops_array == gen_ops" true (Array.to_list ga = ops)
 
 let suite =
